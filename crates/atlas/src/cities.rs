@@ -1,0 +1,422 @@
+//! The embedded continental-US city table.
+//!
+//! The paper's map contains 273 nodes/cities, mixing major metros with
+//! smaller waypoint towns that show up as conduit endpoints (Battle Creek MI,
+//! Wichita Falls TX, Casper WY, …). This table embeds ~190 CONUS cities with
+//! approximate coordinates and metro-area populations; it deliberately
+//! includes every city named in the paper's Tables 2/3 and §2/§4 examples so
+//! regenerated tables read like the originals. Coordinates are city centers
+//! to ~0.01°, which is far below the corridor-analysis buffer.
+
+use intertubes_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Index of a city in the atlas city table (and, by construction, the node
+/// id of that city in every graph the atlas builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CityId(pub u32);
+
+impl CityId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A continental-US city.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// City name, e.g. `"Salt Lake City"`.
+    pub name: String,
+    /// Two-letter state code.
+    pub state: String,
+    /// Approximate city-center location.
+    pub location: GeoPoint,
+    /// Approximate metro population (gravity weight for traffic and
+    /// footprint synthesis).
+    pub population: u32,
+}
+
+impl City {
+    /// `"Name, ST"` display label used in published maps and tables.
+    pub fn label(&self) -> String {
+        format!("{}, {}", self.name, self.state)
+    }
+}
+
+/// One row of the static table: name, state, lat, lon, metro population.
+type Row = (&'static str, &'static str, f64, f64, u32);
+
+/// The static city table. Populations are rough mid-2010s metro estimates —
+/// they act only as gravity weights.
+#[rustfmt::skip]
+pub const CITY_TABLE: &[Row] = &[
+    // --- Northeast ---
+    ("New York", "NY", 40.71, -74.01, 19_800_000),
+    ("Newark", "NJ", 40.74, -74.17, 2_800_000),
+    ("Edison", "NJ", 40.52, -74.41, 1_200_000),
+    ("Trenton", "NJ", 40.22, -74.76, 370_000),
+    ("Philadelphia", "PA", 39.95, -75.17, 6_100_000),
+    ("Allentown", "PA", 40.60, -75.47, 830_000),
+    ("Scranton", "PA", 41.41, -75.66, 560_000),
+    ("Harrisburg", "PA", 40.27, -76.88, 570_000),
+    ("Pittsburgh", "PA", 40.44, -79.99, 2_350_000),
+    ("Erie", "PA", 42.13, -80.09, 280_000),
+    ("Boston", "MA", 42.36, -71.06, 4_800_000),
+    ("Worcester", "MA", 42.26, -71.80, 930_000),
+    ("Springfield", "MA", 42.10, -72.59, 630_000),
+    ("Providence", "RI", 41.82, -71.41, 1_600_000),
+    ("Hartford", "CT", 41.77, -72.67, 1_210_000),
+    ("New Haven", "CT", 41.31, -72.92, 860_000),
+    ("Stamford", "CT", 41.05, -73.54, 130_000),
+    ("White Plains", "NY", 41.03, -73.76, 980_000),
+    ("Albany", "NY", 42.65, -73.75, 880_000),
+    ("Syracuse", "NY", 43.05, -76.15, 660_000),
+    ("Rochester", "NY", 43.16, -77.61, 1_080_000),
+    ("Buffalo", "NY", 42.89, -78.88, 1_130_000),
+    ("Binghamton", "NY", 42.10, -75.91, 250_000),
+    ("Utica", "NY", 43.10, -75.23, 290_000),
+    ("Portland", "ME", 43.66, -70.26, 520_000),
+    ("Manchester", "NH", 42.99, -71.46, 400_000),
+    ("Burlington", "VT", 44.48, -73.21, 220_000),
+    ("Baltimore", "MD", 39.29, -76.61, 2_800_000),
+    ("Towson", "MD", 39.40, -76.60, 830_000),
+    ("Washington", "DC", 38.91, -77.04, 6_100_000),
+    ("Wilmington", "DE", 39.75, -75.55, 720_000),
+    // --- Southeast ---
+    ("Richmond", "VA", 37.54, -77.44, 1_260_000),
+    ("Norfolk", "VA", 36.85, -76.29, 1_720_000),
+    ("Charlottesville", "VA", 38.03, -78.48, 230_000),
+    ("Lynchburg", "VA", 37.41, -79.14, 260_000),
+    ("Roanoke", "VA", 37.27, -79.94, 310_000),
+    ("Raleigh", "NC", 35.78, -78.64, 1_300_000),
+    ("Durham", "NC", 35.99, -78.90, 560_000),
+    ("Greensboro", "NC", 36.07, -79.79, 760_000),
+    ("Charlotte", "NC", 35.23, -80.84, 2_470_000),
+    ("Asheville", "NC", 35.60, -82.55, 450_000),
+    ("Wilmington", "NC", 34.23, -77.94, 290_000),
+    ("Columbia", "SC", 34.00, -81.03, 820_000),
+    ("Charleston", "SC", 32.78, -79.93, 760_000),
+    ("Greenville", "SC", 34.85, -82.40, 900_000),
+    ("Atlanta", "GA", 33.75, -84.39, 5_800_000),
+    ("Macon", "GA", 32.84, -83.63, 230_000),
+    ("Savannah", "GA", 32.08, -81.09, 390_000),
+    ("Augusta", "GA", 33.47, -81.97, 600_000),
+    ("Jacksonville", "FL", 30.33, -81.66, 1_500_000),
+    ("Gainesville", "FL", 29.65, -82.32, 290_000),
+    ("Ocala", "FL", 29.19, -82.14, 360_000),
+    ("Orlando", "FL", 28.54, -81.38, 2_450_000),
+    ("Tampa", "FL", 27.95, -82.46, 3_100_000),
+    ("Sarasota", "FL", 27.34, -82.53, 800_000),
+    ("Fort Myers", "FL", 26.64, -81.87, 740_000),
+    ("West Palm Beach", "FL", 26.72, -80.05, 1_500_000),
+    ("Boca Raton", "FL", 26.37, -80.10, 960_000),
+    ("Miami", "FL", 25.76, -80.19, 6_100_000),
+    ("Tallahassee", "FL", 30.44, -84.28, 380_000),
+    ("Pensacola", "FL", 30.42, -87.22, 490_000),
+    ("Daytona Beach", "FL", 29.21, -81.02, 650_000),
+    ("Nashville", "TN", 36.16, -86.78, 1_900_000),
+    ("Memphis", "TN", 35.15, -90.05, 1_340_000),
+    ("Knoxville", "TN", 35.96, -83.92, 870_000),
+    ("Chattanooga", "TN", 35.05, -85.31, 550_000),
+    ("Birmingham", "AL", 33.52, -86.81, 1_150_000),
+    ("Montgomery", "AL", 32.38, -86.31, 370_000),
+    ("Mobile", "AL", 30.69, -88.04, 410_000),
+    ("Huntsville", "AL", 34.73, -86.59, 450_000),
+    ("Jackson", "MS", 32.30, -90.18, 580_000),
+    ("Laurel", "MS", 31.69, -89.13, 85_000),
+    ("Meridian", "MS", 32.36, -88.70, 110_000),
+    ("Louisville", "KY", 38.25, -85.76, 1_290_000),
+    ("Lexington", "KY", 38.04, -84.50, 510_000),
+    ("Charleston", "WV", 38.35, -81.63, 220_000),
+    // --- Gulf / South Central ---
+    ("New Orleans", "LA", 29.95, -90.07, 1_270_000),
+    ("Baton Rouge", "LA", 30.45, -91.15, 830_000),
+    ("Lafayette", "LA", 30.22, -92.02, 490_000),
+    ("Shreveport", "LA", 32.53, -93.75, 440_000),
+    ("Monroe", "LA", 32.51, -92.12, 180_000),
+    ("Little Rock", "AR", 34.75, -92.29, 730_000),
+    ("Fort Smith", "AR", 35.39, -94.40, 280_000),
+    ("Houston", "TX", 29.76, -95.37, 6_600_000),
+    ("Beaumont", "TX", 30.08, -94.13, 410_000),
+    ("Bryan", "TX", 30.67, -96.37, 260_000),
+    ("Austin", "TX", 30.27, -97.74, 2_060_000),
+    ("San Antonio", "TX", 29.42, -98.49, 2_430_000),
+    ("Corpus Christi", "TX", 27.80, -97.40, 450_000),
+    ("Laredo", "TX", 27.51, -99.51, 270_000),
+    ("Dallas", "TX", 32.78, -96.80, 7_100_000),
+    ("Fort Worth", "TX", 32.76, -97.33, 2_400_000),
+    ("Waco", "TX", 31.55, -97.15, 270_000),
+    ("Tyler", "TX", 32.35, -95.30, 230_000),
+    ("Wichita Falls", "TX", 33.91, -98.49, 150_000),
+    ("Abilene", "TX", 32.45, -99.73, 170_000),
+    ("Midland", "TX", 32.00, -102.08, 170_000),
+    ("San Angelo", "TX", 31.46, -100.44, 120_000),
+    ("El Paso", "TX", 31.76, -106.49, 840_000),
+    ("Lubbock", "TX", 33.58, -101.86, 320_000),
+    ("Amarillo", "TX", 35.19, -101.83, 270_000),
+    ("Oklahoma City", "OK", 35.47, -97.52, 1_400_000),
+    ("Tulsa", "OK", 36.15, -95.99, 990_000),
+    // --- Midwest ---
+    ("Chicago", "IL", 41.88, -87.63, 9_500_000),
+    ("Rockford", "IL", 42.27, -89.09, 340_000),
+    ("Peoria", "IL", 40.69, -89.59, 380_000),
+    ("Springfield", "IL", 39.78, -89.65, 210_000),
+    ("Urbana", "IL", 40.11, -88.21, 240_000),
+    ("Detroit", "MI", 42.33, -83.05, 4_300_000),
+    ("Livonia", "MI", 42.37, -83.35, 950_000),
+    ("Southfield", "MI", 42.47, -83.22, 720_000),
+    ("Ann Arbor", "MI", 42.28, -83.74, 370_000),
+    ("Lansing", "MI", 42.73, -84.56, 480_000),
+    ("Battle Creek", "MI", 42.32, -85.18, 135_000),
+    ("Kalamazoo", "MI", 42.29, -85.59, 340_000),
+    ("Grand Rapids", "MI", 42.96, -85.66, 1_080_000),
+    ("Flint", "MI", 43.01, -83.69, 410_000),
+    ("Saginaw", "MI", 43.42, -83.95, 190_000),
+    ("Toledo", "OH", 41.65, -83.54, 650_000),
+    ("Cleveland", "OH", 41.50, -81.69, 2_060_000),
+    ("Akron", "OH", 41.08, -81.52, 700_000),
+    ("Youngstown", "OH", 41.10, -80.65, 540_000),
+    ("Columbus", "OH", 39.96, -82.99, 2_080_000),
+    ("Dayton", "OH", 39.76, -84.19, 800_000),
+    ("Cincinnati", "OH", 39.10, -84.51, 2_190_000),
+    ("Indianapolis", "IN", 39.77, -86.16, 2_050_000),
+    ("Fort Wayne", "IN", 41.08, -85.14, 430_000),
+    ("South Bend", "IN", 41.68, -86.25, 320_000),
+    ("Evansville", "IN", 37.97, -87.57, 360_000),
+    ("Milwaukee", "WI", 43.04, -87.91, 1_570_000),
+    ("Madison", "WI", 43.07, -89.40, 650_000),
+    ("Green Bay", "WI", 44.51, -88.02, 320_000),
+    ("Eau Claire", "WI", 44.81, -91.50, 165_000),
+    ("La Crosse", "WI", 43.80, -91.24, 140_000),
+    ("Wausau", "WI", 44.96, -89.63, 135_000),
+    ("Minneapolis", "MN", 44.98, -93.27, 3_550_000),
+    ("Duluth", "MN", 46.79, -92.10, 280_000),
+    ("Rochester", "MN", 44.02, -92.47, 215_000),
+    ("St. Louis", "MO", 38.63, -90.20, 2_800_000),
+    ("Kansas City", "MO", 39.10, -94.58, 2_100_000),
+    ("Springfield", "MO", 37.21, -93.29, 460_000),
+    ("Columbia", "MO", 38.95, -92.33, 180_000),
+    ("Joplin", "MO", 37.08, -94.51, 180_000),
+    ("Des Moines", "IA", 41.59, -93.62, 640_000),
+    ("Cedar Rapids", "IA", 41.98, -91.67, 270_000),
+    ("Davenport", "IA", 41.52, -90.58, 380_000),
+    ("Sioux City", "IA", 42.50, -96.40, 170_000),
+    ("Omaha", "NE", 41.26, -95.93, 930_000),
+    ("Lincoln", "NE", 40.81, -96.68, 330_000),
+    ("Grand Island", "NE", 40.93, -98.34, 85_000),
+    ("North Platte", "NE", 41.12, -100.77, 36_000),
+    ("Wichita", "KS", 37.69, -97.34, 640_000),
+    ("Topeka", "KS", 39.05, -95.68, 230_000),
+    ("Salina", "KS", 38.84, -97.61, 56_000),
+    ("Hays", "KS", 38.88, -99.33, 21_000),
+    ("Fargo", "ND", 46.88, -96.79, 230_000),
+    ("Bismarck", "ND", 46.81, -100.78, 130_000),
+    ("Sioux Falls", "SD", 43.55, -96.73, 260_000),
+    ("Rapid City", "SD", 44.08, -103.23, 140_000),
+    // --- Mountain West ---
+    ("Denver", "CO", 39.74, -104.99, 2_860_000),
+    ("Colorado Springs", "CO", 38.83, -104.82, 710_000),
+    ("Pueblo", "CO", 38.25, -104.61, 165_000),
+    ("Fort Collins", "CO", 40.59, -105.08, 340_000),
+    ("Grand Junction", "CO", 39.06, -108.55, 150_000),
+    ("Cheyenne", "WY", 41.14, -104.82, 98_000),
+    ("Casper", "WY", 42.87, -106.31, 80_000),
+    ("Rock Springs", "WY", 41.59, -109.20, 44_000),
+    ("Billings", "MT", 45.78, -108.50, 170_000),
+    ("Bozeman", "MT", 45.68, -111.04, 100_000),
+    ("Missoula", "MT", 46.87, -113.99, 115_000),
+    ("Great Falls", "MT", 47.50, -111.30, 82_000),
+    ("Helena", "MT", 46.59, -112.04, 78_000),
+    ("Boise", "ID", 43.62, -116.20, 680_000),
+    ("Pocatello", "ID", 42.87, -112.45, 90_000),
+    ("Twin Falls", "ID", 42.56, -114.46, 105_000),
+    ("Salt Lake City", "UT", 40.76, -111.89, 1_170_000),
+    ("Provo", "UT", 40.23, -111.66, 590_000),
+    ("Ogden", "UT", 41.22, -111.97, 650_000),
+    ("St. George", "UT", 37.10, -113.58, 160_000),
+    ("Wells", "NV", 41.11, -114.96, 1_300),
+    ("Elko", "NV", 40.83, -115.76, 52_000),
+    ("Reno", "NV", 39.53, -119.81, 450_000),
+    ("Las Vegas", "NV", 36.17, -115.14, 2_110_000),
+    ("Phoenix", "AZ", 33.45, -112.07, 4_570_000),
+    ("Tucson", "AZ", 32.22, -110.97, 1_010_000),
+    ("Flagstaff", "AZ", 35.20, -111.65, 140_000),
+    ("Sedona", "AZ", 34.87, -111.76, 10_000),
+    ("Camp Verde", "AZ", 34.56, -111.85, 11_000),
+    ("Yuma", "AZ", 32.69, -114.63, 200_000),
+    ("Albuquerque", "NM", 35.08, -106.65, 910_000),
+    ("Santa Fe", "NM", 35.69, -105.94, 150_000),
+    ("Las Cruces", "NM", 32.31, -106.78, 215_000),
+    ("Gallup", "NM", 35.53, -108.74, 22_000),
+    ("Tucumcari", "NM", 35.17, -103.72, 5_000),
+    // --- Pacific ---
+    ("Seattle", "WA", 47.61, -122.33, 3_800_000),
+    ("Tacoma", "WA", 47.25, -122.44, 860_000),
+    ("Spokane", "WA", 47.66, -117.43, 560_000),
+    ("Yakima", "WA", 46.60, -120.51, 250_000),
+    ("Vancouver", "WA", 45.64, -122.66, 470_000),
+    ("Portland", "OR", 45.52, -122.68, 2_400_000),
+    ("Hillsboro", "OR", 45.52, -122.99, 105_000),
+    ("Salem", "OR", 44.94, -123.04, 420_000),
+    ("Eugene", "OR", 44.05, -123.09, 370_000),
+    ("Medford", "OR", 42.33, -122.87, 215_000),
+    ("Bend", "OR", 44.06, -121.32, 180_000),
+    ("Pendleton", "OR", 45.67, -118.79, 17_000),
+    ("Sacramento", "CA", 38.58, -121.49, 2_300_000),
+    ("Chico", "CA", 39.73, -121.84, 225_000),
+    ("Redding", "CA", 40.59, -122.39, 180_000),
+    ("San Francisco", "CA", 37.77, -122.42, 4_650_000),
+    ("Oakland", "CA", 37.80, -122.27, 2_700_000),
+    ("Palo Alto", "CA", 37.44, -122.14, 67_000),
+    ("San Jose", "CA", 37.34, -121.89, 1_950_000),
+    ("Stockton", "CA", 37.96, -121.29, 730_000),
+    ("Modesto", "CA", 37.64, -120.99, 540_000),
+    ("Fresno", "CA", 36.75, -119.77, 970_000),
+    ("Bakersfield", "CA", 35.37, -119.02, 870_000),
+    ("San Luis Obispo", "CA", 35.28, -120.66, 280_000),
+    ("Lompoc", "CA", 34.64, -120.46, 43_000),
+    ("Santa Barbara", "CA", 34.42, -119.70, 440_000),
+    ("Los Angeles", "CA", 34.05, -118.24, 13_100_000),
+    ("Anaheim", "CA", 33.84, -117.91, 3_150_000),
+    ("Riverside", "CA", 33.95, -117.40, 4_400_000),
+    ("San Diego", "CA", 32.72, -117.16, 3_280_000),
+    ("Palm Springs", "CA", 33.83, -116.55, 450_000),
+    ("Barstow", "CA", 34.90, -117.02, 24_000),
+];
+
+/// Builds the owned city list from the static table.
+pub fn load_cities() -> Vec<City> {
+    CITY_TABLE
+        .iter()
+        .map(|(name, state, lat, lon, pop)| City {
+            name: (*name).to_string(),
+            state: (*state).to_string(),
+            location: GeoPoint::new_unchecked(*lat, *lon),
+            population: *pop,
+        })
+        .collect()
+}
+
+/// Finds a city id by `name` and `state` (exact match).
+pub fn find_city(cities: &[City], name: &str, state: &str) -> Option<CityId> {
+    cities
+        .iter()
+        .position(|c| c.name == name && c.state == state)
+        .map(|i| CityId(i as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intertubes_geo::BoundingBox;
+
+    #[test]
+    fn table_is_reasonably_sized() {
+        // The paper's map has 273 nodes; the generator needs at least ~180
+        // candidate cities to reach that order of magnitude.
+        assert!(CITY_TABLE.len() >= 180, "only {} cities", CITY_TABLE.len());
+    }
+
+    #[test]
+    fn all_cities_are_in_conus() {
+        for c in load_cities() {
+            assert!(
+                BoundingBox::CONUS.contains(&c.location),
+                "{} is outside CONUS at {}",
+                c.label(),
+                c.location
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicate_city_state_pairs() {
+        let cities = load_cities();
+        let mut labels: Vec<String> = cities.iter().map(|c| c.label()).collect();
+        labels.sort();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "duplicate city labels in table");
+    }
+
+    #[test]
+    fn papers_table_cities_are_present() {
+        let cities = load_cities();
+        for (name, state) in [
+            ("Trenton", "NJ"),
+            ("Edison", "NJ"),
+            ("Kalamazoo", "MI"),
+            ("Battle Creek", "MI"),
+            ("Dallas", "TX"),
+            ("Fort Worth", "TX"),
+            ("Baltimore", "MD"),
+            ("Towson", "MD"),
+            ("Baton Rouge", "LA"),
+            ("New Orleans", "LA"),
+            ("Livonia", "MI"),
+            ("Southfield", "MI"),
+            ("Topeka", "KS"),
+            ("Lincoln", "NE"),
+            ("Spokane", "WA"),
+            ("Boise", "ID"),
+            ("Bryan", "TX"),
+            ("Shreveport", "LA"),
+            ("Wichita Falls", "TX"),
+            ("San Luis Obispo", "CA"),
+            ("Lompoc", "CA"),
+            ("Las Vegas", "NV"),
+            ("Wichita", "KS"),
+            ("Salt Lake City", "UT"),
+            ("Lansing", "MI"),
+            ("South Bend", "IN"),
+            ("Philadelphia", "PA"),
+            ("Allentown", "PA"),
+            ("West Palm Beach", "FL"),
+            ("Boca Raton", "FL"),
+            ("Lynchburg", "VA"),
+            ("Charlottesville", "VA"),
+            ("Sedona", "AZ"),
+            ("Camp Verde", "AZ"),
+            ("Bozeman", "MT"),
+            ("Billings", "MT"),
+            ("Casper", "WY"),
+            ("Cheyenne", "WY"),
+            ("White Plains", "NY"),
+            ("Stamford", "CT"),
+            ("Amarillo", "TX"),
+            ("Eugene", "OR"),
+            ("Chico", "CA"),
+            ("Phoenix", "AZ"),
+            ("Provo", "UT"),
+            ("Oklahoma City", "OK"),
+            ("Eau Claire", "WI"),
+            ("Madison", "WI"),
+            ("Bakersfield", "CA"),
+            ("Hillsboro", "OR"),
+            ("Santa Barbara", "CA"),
+            ("Tucson", "AZ"),
+            ("Anaheim", "CA"),
+            ("Gainesville", "FL"),
+            ("Ocala", "FL"),
+            ("Laurel", "MS"),
+            ("Wells", "NV"),
+            ("Palo Alto", "CA"),
+        ] {
+            assert!(
+                find_city(&cities, name, state).is_some(),
+                "paper city {name}, {state} missing from table"
+            );
+        }
+    }
+
+    #[test]
+    fn find_city_is_exact() {
+        let cities = load_cities();
+        assert!(find_city(&cities, "Springfield", "IL").is_some());
+        assert!(find_city(&cities, "Springfield", "MA").is_some());
+        assert!(find_city(&cities, "Springfield", "ZZ").is_none());
+        let il = find_city(&cities, "Springfield", "IL").unwrap();
+        assert_eq!(cities[il.index()].state, "IL");
+    }
+}

@@ -1,0 +1,340 @@
+//! The ISP roster.
+//!
+//! The paper studies 20 service providers: 9 with geocoded fiber maps
+//! (step 1 of the mapping process, Table 1) and 11 whose published maps are
+//! POP-level only (step 3). Additionally, traceroute analysis (§4.3,
+//! Table 4) surfaces providers that publish no map at all but are visible in
+//! DNS naming hints (SoftLayer, MFN, …); we model those as *unpublished*
+//! tenants of the ground-truth conduit system.
+//!
+//! Per-ISP footprint-size targets reproduce Table 1 exactly for the step-1
+//! ISPs and sum to the paper's §2.3 aggregate (1153 links) for the step-3
+//! ISPs.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an ISP in the roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IspId(pub u32);
+
+impl IspId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Provider class, used for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IspTier {
+    /// Tier-1 backbone provider.
+    Tier1,
+    /// Major cable provider.
+    Cable,
+    /// Regional provider.
+    Regional,
+}
+
+/// How the provider's map is published — this decides which pipeline step
+/// ingests it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapKind {
+    /// Full geocoded link geometry is public (step 1).
+    Geocoded,
+    /// Only POP-level (city-pair) connectivity is public (step 3).
+    PopOnly,
+    /// No public map; visible only via public records and traceroute naming
+    /// hints (§4.3's "additional ISPs").
+    Unpublished,
+}
+
+/// Static description of one provider used by the world generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspProfile {
+    /// Display name (as used in the paper's figures).
+    pub name: String,
+    /// Provider class.
+    pub tier: IspTier,
+    /// Map publication style.
+    pub map_kind: MapKind,
+    /// Target number of long-haul links (= conduit tenancies) in the
+    /// synthetic footprint. Step-1 values are the paper's Table 1.
+    pub target_links: usize,
+    /// Target number of distinct cities in the footprint.
+    pub target_cities: usize,
+    /// Optional regional anchor `(lat, lon)`: presence decays with distance
+    /// from here. `None` = national footprint.
+    pub anchor: Option<(f64, f64)>,
+    /// Decay length for the regional anchor, km.
+    pub spread_km: f64,
+    /// Preference in `[0, 1]` for popular (high-betweenness) conduits.
+    /// High values concentrate the ISP onto the shared backbone — the
+    /// "dig once / lease dark fiber" behaviour the paper attributes to
+    /// non-US providers; low values produce geographically diverse paths
+    /// (Suddenlink, EarthLink, Level 3).
+    pub backbone_affinity: f64,
+}
+
+fn isp(
+    name: &str,
+    tier: IspTier,
+    map_kind: MapKind,
+    target_links: usize,
+    target_cities: usize,
+    anchor: Option<(f64, f64)>,
+    spread_km: f64,
+    backbone_affinity: f64,
+) -> IspProfile {
+    IspProfile {
+        name: name.to_string(),
+        tier,
+        map_kind,
+        target_links,
+        target_cities,
+        anchor,
+        spread_km,
+        backbone_affinity,
+    }
+}
+
+/// The full provider roster: 9 geocoded + 11 POP-only (the paper's 20),
+/// followed by unpublished traceroute-visible providers.
+///
+/// Ordering is stable; [`IspId`]s index into this list.
+pub fn isp_roster() -> Vec<IspProfile> {
+    use IspTier::*;
+    use MapKind::*;
+    vec![
+        // --- Step 1: geocoded maps (Table 1 link counts) ---
+        isp("AT&T", Tier1, Geocoded, 57, 25, None, 0.0, 0.75),
+        isp("Comcast", Cable, Geocoded, 71, 26, None, 0.0, 0.60),
+        isp("Cogent", Tier1, Geocoded, 84, 69, None, 0.0, 0.65),
+        isp("EarthLink", Regional, Geocoded, 370, 190, None, 0.0, 0.25),
+        isp(
+            "Integra",
+            Regional,
+            Geocoded,
+            36,
+            27,
+            Some((45.5, -122.6)),
+            900.0,
+            0.45,
+        ),
+        isp("Level 3", Tier1, Geocoded, 336, 180, None, 0.0, 0.30),
+        isp(
+            "Suddenlink",
+            Cable,
+            Geocoded,
+            42,
+            39,
+            Some((33.4, -94.0)),
+            1200.0,
+            0.10,
+        ),
+        isp("Verizon", Tier1, Geocoded, 151, 110, None, 0.0, 0.60),
+        isp("Zayo", Regional, Geocoded, 111, 95, None, 0.0, 0.50),
+        // --- Step 3: POP-only maps (sum of links = 1153, §2.3) ---
+        isp("CenturyLink", Tier1, PopOnly, 134, 90, None, 0.0, 0.55),
+        isp("Sprint", Tier1, PopOnly, 102, 70, None, 0.0, 0.70),
+        isp(
+            "Cox",
+            Cable,
+            PopOnly,
+            110,
+            75,
+            Some((34.0, -81.0)),
+            1900.0,
+            0.45,
+        ),
+        isp("Deutsche Telekom", Tier1, PopOnly, 75, 45, None, 0.0, 0.95),
+        isp("HE", Tier1, PopOnly, 90, 60, None, 0.0, 0.80),
+        isp("Inteliquent", Regional, PopOnly, 62, 40, None, 0.0, 0.85),
+        isp("NTT", Tier1, PopOnly, 95, 55, None, 0.0, 0.95),
+        isp("Tata", Tier1, PopOnly, 85, 50, None, 0.0, 0.90),
+        isp("TeliaSonera", Tier1, PopOnly, 92, 55, None, 0.0, 0.90),
+        isp("TWC", Cable, PopOnly, 180, 120, None, 0.0, 0.45),
+        isp("XO", Tier1, PopOnly, 128, 80, None, 0.0, 0.93),
+        // --- Unpublished, traceroute-visible providers (§4.3, Table 4) ---
+        isp("SoftLayer", Regional, Unpublished, 70, 45, None, 0.0, 0.70),
+        isp("MFN", Regional, Unpublished, 55, 35, None, 0.0, 0.75),
+        isp(
+            "Windstream",
+            Regional,
+            Unpublished,
+            60,
+            45,
+            Some((34.7, -92.3)),
+            1600.0,
+            0.40,
+        ),
+        isp("Frontier", Regional, Unpublished, 55, 40, None, 0.0, 0.50),
+        isp("GTT", Regional, Unpublished, 45, 30, None, 0.0, 0.85),
+        isp(
+            "FiberLight",
+            Regional,
+            Unpublished,
+            35,
+            25,
+            Some((31.0, -97.0)),
+            1100.0,
+            0.45,
+        ),
+        isp(
+            "Southern Light",
+            Regional,
+            Unpublished,
+            30,
+            22,
+            Some((30.7, -88.0)),
+            900.0,
+            0.40,
+        ),
+        isp(
+            "Unite Private Networks",
+            Regional,
+            Unpublished,
+            30,
+            22,
+            Some((39.1, -94.6)),
+            1100.0,
+            0.45,
+        ),
+        isp(
+            "Alpheus",
+            Regional,
+            Unpublished,
+            25,
+            18,
+            Some((29.8, -95.4)),
+            800.0,
+            0.50,
+        ),
+        isp(
+            "Birch",
+            Regional,
+            Unpublished,
+            30,
+            22,
+            Some((33.7, -84.4)),
+            1300.0,
+            0.55,
+        ),
+    ]
+}
+
+/// Number of providers with published maps (the paper's 20).
+pub const MAPPED_ISPS: usize = 20;
+
+/// Returns ids of ISPs whose maps are geocoded (step-1 inputs).
+pub fn geocoded_isps(roster: &[IspProfile]) -> Vec<IspId> {
+    roster
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.map_kind == MapKind::Geocoded)
+        .map(|(i, _)| IspId(i as u32))
+        .collect()
+}
+
+/// Returns ids of ISPs whose maps are POP-only (step-3 inputs).
+pub fn pop_only_isps(roster: &[IspProfile]) -> Vec<IspId> {
+    roster
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.map_kind == MapKind::PopOnly)
+        .map(|(i, _)| IspId(i as u32))
+        .collect()
+}
+
+/// Returns ids of unpublished (traceroute-only) providers.
+pub fn unpublished_isps(roster: &[IspProfile]) -> Vec<IspId> {
+    roster
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.map_kind == MapKind::Unpublished)
+        .map(|(i, _)| IspId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_shape_matches_paper() {
+        let roster = isp_roster();
+        let geo = geocoded_isps(&roster);
+        let pop = pop_only_isps(&roster);
+        let unpub = unpublished_isps(&roster);
+        assert_eq!(geo.len(), 9, "paper step 1 uses 9 ISPs");
+        assert_eq!(pop.len(), 11, "paper step 3 uses 11 ISPs");
+        assert_eq!(geo.len() + pop.len(), MAPPED_ISPS);
+        assert!(unpub.len() >= 8, "need several traceroute-only providers");
+    }
+
+    #[test]
+    fn step1_link_targets_match_table1() {
+        let roster = isp_roster();
+        let total: usize = geocoded_isps(&roster)
+            .iter()
+            .map(|id| roster[id.index()].target_links)
+            .sum();
+        assert_eq!(total, 1258, "Table 1 totals 1258 links");
+        let find = |n: &str| roster.iter().find(|p| p.name == n).unwrap().target_links;
+        assert_eq!(find("AT&T"), 57);
+        assert_eq!(find("Comcast"), 71);
+        assert_eq!(find("Cogent"), 84);
+        assert_eq!(find("EarthLink"), 370);
+        assert_eq!(find("Integra"), 36);
+        assert_eq!(find("Level 3"), 336);
+        assert_eq!(find("Suddenlink"), 42);
+        assert_eq!(find("Verizon"), 151);
+        assert_eq!(find("Zayo"), 111);
+    }
+
+    #[test]
+    fn step3_link_targets_match_paper_aggregate() {
+        let roster = isp_roster();
+        let total: usize = pop_only_isps(&roster)
+            .iter()
+            .map(|id| roster[id.index()].target_links)
+            .sum();
+        assert_eq!(total, 1153, "paper: step-3 ISPs contribute 1153 links");
+        // Named values from the paper's text.
+        let find = |n: &str| roster.iter().find(|p| p.name == n).unwrap().target_links;
+        assert_eq!(find("Sprint"), 102);
+        assert_eq!(find("CenturyLink"), 134);
+    }
+
+    #[test]
+    fn affinities_are_valid_and_shaped() {
+        let roster = isp_roster();
+        for p in &roster {
+            assert!((0.0..=1.0).contains(&p.backbone_affinity), "{}", p.name);
+            assert!(p.target_links >= 10, "{}", p.name);
+            assert!(p.target_cities >= 10, "{}", p.name);
+        }
+        // The paper's ranking shape: Suddenlink lowest sharing; DT/NTT/XO high.
+        let aff = |n: &str| {
+            roster
+                .iter()
+                .find(|p| p.name == n)
+                .unwrap()
+                .backbone_affinity
+        };
+        assert!(aff("Suddenlink") < aff("EarthLink") || aff("Suddenlink") < 0.2);
+        assert!(aff("Deutsche Telekom") > 0.8);
+        assert!(aff("NTT") > 0.8);
+        assert!(aff("XO") > 0.8);
+        assert!(aff("EarthLink") < 0.4 && aff("Level 3") < 0.4);
+    }
+
+    #[test]
+    fn unique_names() {
+        let roster = isp_roster();
+        let mut names: Vec<&str> = roster.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

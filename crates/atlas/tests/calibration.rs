@@ -1,0 +1,82 @@
+//! Calibration tests: the reference world must land inside windows around
+//! the paper's headline statistics (see DESIGN.md §3, "Calibration
+//! targets"). Run with `--nocapture` to see the measured values.
+
+use intertubes_atlas::{tenant_counts, World, MAPPED_ISPS};
+
+fn sharing_fractions(counts: &[u16]) -> (f64, f64, f64) {
+    let n = counts.len() as f64;
+    let at_least = |k: u16| counts.iter().filter(|&&c| c >= k).count() as f64 / n;
+    (at_least(2), at_least(3), at_least(4))
+}
+
+#[test]
+fn sharing_distribution_matches_paper_shape() {
+    let w = World::reference();
+    let counts = tenant_counts(&w.system, w.mapped_footprints());
+    let (ge2, ge3, ge4) = sharing_fractions(&counts);
+    let heavy = counts.iter().filter(|&&c| c > 17).count();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    println!(
+        "sharing: >=2 {:.1}% (paper 89.7), >=3 {:.1}% (63.3), >=4 {:.1}% (53.5), \
+         >17 ISPs: {} conduits (paper 12), max {max}",
+        ge2 * 100.0,
+        ge3 * 100.0,
+        ge4 * 100.0,
+        heavy
+    );
+    // Windows: shape must hold, exact values are synthetic.
+    assert!(ge2 > 0.75 && ge2 < 0.98, ">=2 sharing {ge2}");
+    assert!(ge3 > 0.45 && ge3 < 0.85, ">=3 sharing {ge3}");
+    assert!(ge4 > 0.35 && ge4 < 0.75, ">=4 sharing {ge4}");
+    assert!(ge2 > ge3 && ge3 > ge4);
+    assert!(
+        (4..=30).contains(&heavy),
+        "heavily-shared conduits: {heavy}"
+    );
+    assert!(max <= MAPPED_ISPS as u16);
+}
+
+#[test]
+fn total_tenancy_near_2411() {
+    let w = World::reference();
+    let total: usize = w.mapped_footprints().iter().map(|f| f.conduits.len()).sum();
+    println!("total mapped tenancies: {total} (paper 2411)");
+    assert!((2170..=2660).contains(&total));
+}
+
+#[test]
+fn isp_ranking_order_matches_paper_extremes() {
+    let w = World::reference();
+    let counts = tenant_counts(&w.system, w.mapped_footprints());
+    let avg = |i: usize| -> f64 {
+        let fp = &w.footprints[i];
+        fp.conduits
+            .iter()
+            .map(|c| counts[c.index()] as f64)
+            .sum::<f64>()
+            / fp.conduits.len() as f64
+    };
+    let idx = |n: &str| w.roster.iter().position(|p| p.name == n).unwrap();
+    let mut report: Vec<(String, f64)> = (0..MAPPED_ISPS)
+        .map(|i| (w.roster[i].name.clone(), avg(i)))
+        .collect();
+    report.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (n, v) in &report {
+        println!("{n:>18}: avg sharing {v:.2}");
+    }
+    // Paper's extremes: Suddenlink lowest-ish; DT/NTT/XO near the top.
+    let sudden = avg(idx("Suddenlink"));
+    let rank = |name: &str| report.iter().position(|(n, _)| n == name).unwrap();
+    assert!(
+        rank("Suddenlink") <= 5,
+        "Suddenlink rank {}",
+        rank("Suddenlink")
+    );
+    assert!(rank("Deutsche Telekom") >= 12);
+    assert!(rank("NTT") >= 12);
+    // XO's footprint (128 links) is larger than the other backbone riders',
+    // which dilutes its average; it must still sit in the upper half.
+    assert!(rank("XO") >= 6, "XO rank {}", rank("XO"));
+    assert!(sudden < avg(idx("Deutsche Telekom")));
+}

@@ -1,0 +1,49 @@
+//! Regenerates the paper's tables and figures from the reference study.
+//!
+//! ```sh
+//! cargo run -p intertubes-bench --release --bin figures -- all
+//! cargo run -p intertubes-bench --release --bin figures -- fig6 fig9 tab4
+//! INTERTUBES_PROBES=500000 cargo run -p intertubes-bench --release --bin figures -- tab2
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: figures <experiment>... | all\nknown experiments: {}",
+            intertubes_bench::EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        // Deduplicate combined printers (fig2/fig3, tab2/tab3, fig10/tab5).
+        vec![
+            "tab1",
+            "fig1",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "tab2",
+            "tab4",
+            "fig10",
+            "fig11",
+            "fig12",
+            "ext-resilience",
+            "ext-exchange",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!(
+        "InterTubes reproduction harness — world seed {}, {} probes",
+        intertubes_bench::study().world.config.seed,
+        intertubes_bench::probe_count()
+    );
+    for id in ids {
+        intertubes_bench::run(id);
+    }
+}

@@ -1,0 +1,48 @@
+//! # InterTubes — a reproduction of the US long-haul fiber study
+//!
+//! This crate is the facade over a full reproduction of *InterTubes: A
+//! Study of the US Long-haul Fiber-optic Infrastructure* (SIGCOMM 2015):
+//! map construction from published maps and public records (§2), geography
+//! analysis (§3), shared-risk assessment (§4), and the mitigation
+//! frameworks (§5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use intertubes::Study;
+//!
+//! // Build the reference study: synthetic world → records corpus →
+//! // four-step map construction.
+//! let study = Study::reference();
+//! let map = &study.built.map;
+//! println!(
+//!     "{} nodes, {} links, {} conduits",
+//!     map.nodes.len(),
+//!     map.link_count(),
+//!     map.conduits.len()
+//! );
+//!
+//! // §4: how heavily is the infrastructure shared?
+//! let rm = study.risk_matrix();
+//! let ge2 = intertubes::risk::sharing_fraction(&rm, 2);
+//! assert!(ge2 > 0.5, "most conduits are shared");
+//! ```
+//!
+//! The sub-crates are re-exported as modules: [`geo`], [`graph`], [`atlas`],
+//! [`records`], [`map`], [`probes`], [`risk`], [`mitigation`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod study;
+
+pub use study::{Study, StudyConfig};
+
+pub use intertubes_atlas as atlas;
+pub use intertubes_geo as geo;
+pub use intertubes_graph as graph;
+pub use intertubes_map as map;
+pub use intertubes_mitigation as mitigation;
+pub use intertubes_probes as probes;
+pub use intertubes_records as records;
+pub use intertubes_risk as risk;

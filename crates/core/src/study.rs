@@ -1,0 +1,233 @@
+//! The high-level `Study` API: one object that runs the paper end to end.
+
+use intertubes_atlas::{World, WorldConfig, MAPPED_ISPS};
+use intertubes_geo::OverlapParams;
+use intertubes_map::{build_map, BuiltMap, ColocationReport, PipelineConfig};
+use intertubes_mitigation::{
+    augment, heaviest_conduits, latency_study, AugmentationConfig, AugmentationReport,
+    LatencyConfig, LatencyReport, RobustnessReport,
+};
+use intertubes_probes::{overlay_campaign, run_campaign, Campaign, Overlay, ProbeConfig};
+use intertubes_records::{generate_corpus, Corpus, CorpusConfig};
+use intertubes_risk::RiskMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Every knob of the reproduction in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StudyConfig {
+    /// World-generation parameters.
+    pub world: WorldConfig,
+    /// Public-records corpus parameters.
+    pub corpus: CorpusConfig,
+    /// Map-construction parameters.
+    pub pipeline: PipelineConfig,
+    /// Traceroute-campaign parameters.
+    pub probes: ProbeConfig,
+    /// Corridor-overlap parameters (§3).
+    pub overlap: OverlapParams,
+    /// Latency-study parameters (§5.3).
+    pub latency: LatencyConfig,
+    /// Augmentation parameters (§5.2).
+    pub augmentation: AugmentationConfig,
+}
+
+/// A fully-initialized reproduction: ground-truth world, records corpus,
+/// and the constructed map. Analysis results are computed on demand.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Configuration used.
+    pub config: StudyConfig,
+    /// The synthetic ground truth.
+    pub world: World,
+    /// The public-records corpus.
+    pub corpus: Corpus,
+    /// The constructed map with per-step reports.
+    pub built: BuiltMap,
+}
+
+impl Study {
+    /// Builds a study: generates the world and corpus, publishes the
+    /// provider maps, and runs the four-step construction pipeline.
+    pub fn new(config: StudyConfig) -> Study {
+        let world = World::generate(config.world);
+        let corpus = generate_corpus(&world, &config.corpus);
+        let published = world.publish_maps();
+        let built = build_map(
+            &published,
+            &corpus,
+            &world.cities,
+            &world.roads,
+            &world.rails,
+            &config.pipeline,
+        );
+        Study {
+            config,
+            world,
+            corpus,
+            built,
+        }
+    }
+
+    /// The reference study (default config, seed 1504).
+    pub fn reference() -> Study {
+        Study::new(StudyConfig::default())
+    }
+
+    /// A study with a different world seed, all else default.
+    pub fn with_seed(seed: u64) -> Study {
+        let mut cfg = StudyConfig::default();
+        cfg.world.seed = seed;
+        Study::new(cfg)
+    }
+
+    /// The 20 mapped provider names, in roster order.
+    pub fn mapped_isp_names(&self) -> Vec<String> {
+        self.world
+            .roster
+            .iter()
+            .take(MAPPED_ISPS)
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// The §4.1 risk matrix over the constructed map and the 20 providers.
+    pub fn risk_matrix(&self) -> RiskMatrix {
+        RiskMatrix::build(&self.built.map, &self.mapped_isp_names())
+    }
+
+    /// Runs a traceroute campaign (`None` = configured probe count).
+    pub fn campaign(&self, probes: Option<usize>) -> Campaign {
+        let mut cfg = self.config.probes;
+        if let Some(p) = probes {
+            cfg.probes = p;
+        }
+        run_campaign(&self.world, &cfg)
+    }
+
+    /// Overlays a campaign onto the constructed map (§4.3).
+    pub fn overlay(&self, campaign: &Campaign) -> Overlay {
+        overlay_campaign(&self.world, &self.built.map, campaign)
+    }
+
+    /// The §3 co-location analysis (Fig. 4 / Fig. 5).
+    pub fn colocation(&self) -> Result<ColocationReport, intertubes_geo::GeoError> {
+        let idx = intertubes_map::corridor_index(
+            &self.world.roads,
+            &self.world.rails,
+            &self.world.pipelines,
+            self.config.overlap.buffer_km.max(1.0),
+        )?;
+        intertubes_map::analyze_colocation(&self.built.map, &idx, &self.config.overlap, 10)
+    }
+
+    /// The §5.1 robustness-suggestion analysis over the `k` most-shared
+    /// conduits (paper: 12). Peer suggestions are weighted toward
+    /// transit-grade (tier-1) carriers, as in the paper's Table 5.
+    pub fn robustness(&self, k: usize) -> RobustnessReport {
+        let rm = self.risk_matrix();
+        let heavy = heaviest_conduits(&rm, k);
+        let tier_of = |name: &str| -> f64 {
+            match self
+                .world
+                .roster
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.tier)
+            {
+                Some(intertubes_atlas::IspTier::Tier1) => 1.0,
+                Some(intertubes_atlas::IspTier::Cable) => 0.45,
+                Some(intertubes_atlas::IspTier::Regional) => 0.35,
+                None => 0.25,
+            }
+        };
+        intertubes_mitigation::robustness_suggestion_weighted(&self.built.map, &rm, &heavy, tier_of)
+    }
+
+    /// The §5.2 augmentation analysis.
+    pub fn augmentation(&self) -> AugmentationReport {
+        let rm = self.risk_matrix();
+        augment(
+            &self.built.map,
+            &rm,
+            &self.world.cities,
+            &self.world.roads,
+            &self.config.augmentation,
+        )
+    }
+
+    /// The §5.3 latency study.
+    pub fn latency(&self) -> LatencyReport {
+        latency_study(
+            &self.built.map,
+            &self.world.cities,
+            &self.world.roads,
+            &self.world.rails,
+            &self.config.latency,
+        )
+    }
+
+    /// What-if: applies the §5.2 augmentation plan and reports the §4
+    /// metrics before and after (the loop the paper leaves open).
+    pub fn what_if_augmented(&self) -> intertubes_mitigation::WhatIfReport {
+        let plan = self.augmentation();
+        intertubes_mitigation::what_if(&self.built.map, &self.mapped_isp_names(), &plan)
+    }
+
+    /// Annotated GeoJSON (paper §8 future work): the constructed map with
+    /// per-conduit traffic, delay and shared-risk properties. Pass the
+    /// overlay whose traffic counts should be embedded.
+    pub fn annotated_geojson(&self, overlay: &Overlay) -> serde_json::Value {
+        let rm = self.risk_matrix();
+        intertubes_map::to_annotated_geojson(
+            &self.built.map,
+            &intertubes_map::MapAnnotations {
+                traffic: overlay.conduit_freq.clone(),
+                shared: rm.shared,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_study_builds() {
+        let s = Study::reference();
+        assert_eq!(s.mapped_isp_names().len(), 20);
+        assert!(s.built.map.conduits.len() > 300);
+        assert!(s.corpus.len() > 500);
+    }
+
+    #[test]
+    fn risk_matrix_dimensions_match_map() {
+        let s = Study::reference();
+        let rm = s.risk_matrix();
+        assert_eq!(rm.conduit_count(), s.built.map.conduits.len());
+        assert_eq!(rm.isp_count(), 20);
+    }
+
+    #[test]
+    fn end_to_end_smoke() {
+        let s = Study::reference();
+        let campaign = s.campaign(Some(5_000));
+        let overlay = s.overlay(&campaign);
+        assert!(overlay.overlaid > 3_000);
+        let rob = s.robustness(12);
+        assert_eq!(rob.heavy_conduits.len(), 12);
+        let lat = s.latency();
+        assert!(!lat.pairs.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_give_different_maps() {
+        let a = Study::with_seed(1504);
+        let b = Study::with_seed(42);
+        assert_ne!(
+            a.built.map.link_count(),
+            b.built.map.link_count(),
+            "different worlds should differ somewhere"
+        );
+    }
+}

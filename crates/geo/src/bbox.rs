@@ -1,0 +1,127 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoPoint, Polyline};
+
+/// An axis-aligned latitude/longitude bounding box.
+///
+/// Longitudes are assumed not to cross the antimeridian — valid for the
+/// continental United States, the paper's (and this reproduction's) scope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southern edge (minimum latitude), degrees.
+    pub min_lat: f64,
+    /// Western edge (minimum longitude), degrees.
+    pub min_lon: f64,
+    /// Northern edge (maximum latitude), degrees.
+    pub max_lat: f64,
+    /// Eastern edge (maximum longitude), degrees.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// The continental United States, generously padded.
+    pub const CONUS: BoundingBox = BoundingBox {
+        min_lat: 24.0,
+        min_lon: -125.5,
+        max_lat: 49.5,
+        max_lon: -66.5,
+    };
+
+    /// An empty box, ready to be extended.
+    pub fn empty() -> Self {
+        BoundingBox {
+            min_lat: f64::INFINITY,
+            min_lon: f64::INFINITY,
+            max_lat: f64::NEG_INFINITY,
+            max_lon: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Whether any point has been added.
+    pub fn is_valid(&self) -> bool {
+        self.min_lat <= self.max_lat && self.min_lon <= self.max_lon
+    }
+
+    /// Extends the box to contain `p`.
+    pub fn extend(&mut self, p: &GeoPoint) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+    }
+
+    /// The bounding box of a polyline's vertices.
+    pub fn of_polyline(pl: &Polyline) -> Self {
+        let mut b = BoundingBox::empty();
+        for p in pl.points() {
+            b.extend(p);
+        }
+        b
+    }
+
+    /// Whether `p` lies inside (or on the edge of) the box.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon <= self.max_lon
+    }
+
+    /// Center point of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint {
+            lat: (self.min_lat + self.max_lat) / 2.0,
+            lon: (self.min_lon + self.max_lon) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_contains_nothing_and_is_invalid() {
+        let b = BoundingBox::empty();
+        assert!(!b.is_valid());
+        assert!(!b.contains(&GeoPoint::new_unchecked(0.0, 0.0)));
+    }
+
+    #[test]
+    fn extend_grows_to_fit() {
+        let mut b = BoundingBox::empty();
+        let p1 = GeoPoint::new_unchecked(40.0, -100.0);
+        let p2 = GeoPoint::new_unchecked(35.0, -90.0);
+        b.extend(&p1);
+        b.extend(&p2);
+        assert!(b.is_valid());
+        assert!(b.contains(&p1) && b.contains(&p2));
+        assert!(b.contains(&GeoPoint::new_unchecked(37.0, -95.0)));
+        assert!(!b.contains(&GeoPoint::new_unchecked(41.0, -95.0)));
+    }
+
+    #[test]
+    fn conus_contains_major_cities() {
+        for (lat, lon) in [
+            (40.71, -74.01),
+            (34.05, -118.24),
+            (47.61, -122.33),
+            (25.76, -80.19),
+        ] {
+            assert!(BoundingBox::CONUS.contains(&GeoPoint::new_unchecked(lat, lon)));
+        }
+        // Honolulu and Anchorage are outside scope.
+        assert!(!BoundingBox::CONUS.contains(&GeoPoint::new_unchecked(21.31, -157.86)));
+        assert!(!BoundingBox::CONUS.contains(&GeoPoint::new_unchecked(61.22, -149.90)));
+    }
+
+    #[test]
+    fn center_is_midpoint_of_extents() {
+        let mut b = BoundingBox::empty();
+        b.extend(&GeoPoint::new_unchecked(30.0, -110.0));
+        b.extend(&GeoPoint::new_unchecked(40.0, -90.0));
+        let c = b.center();
+        assert_eq!(c.lat, 35.0);
+        assert_eq!(c.lon, -100.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Uniform spatial hash over polyline segments.
+//!
+//! The corridor co-location analysis must answer millions of "is there a
+//! road/rail segment within *r* km of this point?" queries. A uniform grid
+//! keyed on latitude/longitude cells retrieves candidate segments; exact
+//! distances are then recomputed with a locally-centered projection, so the
+//! grid can be conservative without affecting correctness.
+
+use std::collections::HashMap;
+
+use crate::projection::KM_PER_DEG_LAT;
+use crate::{GeoError, GeoPoint, LocalProjection, Polyline};
+
+/// Cosine of the highest CONUS latitude we index (49.5° N). Using the
+/// smallest km-per-degree-of-longitude in scope makes longitude cells *at
+/// least* `cell_km` wide everywhere, which keeps the neighbourhood search
+/// conservative.
+const MIN_COS_LAT: f64 = 0.649_448; // cos(49.5°)
+
+#[derive(Debug, Clone)]
+struct Segment {
+    a: GeoPoint,
+    b: GeoPoint,
+    tag: u32,
+}
+
+/// A candidate segment returned by a radius query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentHit {
+    /// Caller-supplied tag identifying the polyline the segment belongs to.
+    pub tag: u32,
+    /// Exact geodesic distance from the query point to the segment, km.
+    pub distance_km: f64,
+}
+
+/// Occupancy statistics, useful for tuning the cell size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridStats {
+    /// Number of stored segments.
+    pub segments: usize,
+    /// Number of non-empty cells.
+    pub cells: usize,
+    /// Mean number of segment references per non-empty cell.
+    pub mean_occupancy: f64,
+}
+
+/// Spatial hash grid over geographic segments. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SegmentGrid {
+    cell_km: f64,
+    deg_lat: f64,
+    deg_lon: f64,
+    cells: HashMap<(i32, i32), Vec<u32>>,
+    segments: Vec<Segment>,
+}
+
+impl SegmentGrid {
+    /// Maximum stored piece length: segments longer than this are split
+    /// along the great circle on insertion.
+    pub const DENSIFY_KM: f64 = 20.0;
+
+    /// Creates an empty grid with cells roughly `cell_km` across.
+    ///
+    /// Queries with `radius_km <= cell_km` inspect only the 3×3
+    /// neighbourhood; larger radii expand the search ring accordingly.
+    pub fn new(cell_km: f64) -> Result<Self, GeoError> {
+        if cell_km <= 0.0 || cell_km.is_nan() {
+            return Err(GeoError::NonPositiveParameter {
+                name: "cell_km",
+                value: cell_km,
+            });
+        }
+        Ok(SegmentGrid {
+            cell_km,
+            deg_lat: cell_km / KM_PER_DEG_LAT,
+            deg_lon: cell_km / (KM_PER_DEG_LAT * MIN_COS_LAT),
+            cells: HashMap::new(),
+            segments: Vec::new(),
+        })
+    }
+
+    fn cell_of(&self, p: &GeoPoint) -> (i32, i32) {
+        (
+            (p.lat / self.deg_lat).floor() as i32,
+            (p.lon / self.deg_lon).floor() as i32,
+        )
+    }
+
+    /// Inserts one segment under `tag`.
+    ///
+    /// Long segments are split into ≤ [`SegmentGrid::DENSIFY_KM`] great-circle
+    /// pieces before storage: distance queries use a locally-centered planar
+    /// projection, which is only accurate for short chords near the query
+    /// point. Splitting keeps stored geometry on the geodesic and bounds the
+    /// planar error to centimeters.
+    pub fn insert_segment(&mut self, a: GeoPoint, b: GeoPoint, tag: u32) {
+        let d = a.distance_km(&b);
+        let pieces = (d / Self::DENSIFY_KM).ceil().max(1.0) as usize;
+        let mut prev = a;
+        for i in 1..=pieces {
+            let next = if i == pieces {
+                b
+            } else {
+                a.interpolate(&b, i as f64 / pieces as f64)
+            };
+            self.insert_piece(prev, next, tag);
+            prev = next;
+        }
+    }
+
+    fn insert_piece(&mut self, a: GeoPoint, b: GeoPoint, tag: u32) {
+        let idx = self.segments.len() as u32;
+        self.segments.push(Segment { a, b, tag });
+        // Register the piece in every cell it passes through by walking it
+        // at half-cell resolution (conservative: a cell is never skipped).
+        let d = a.distance_km(&b);
+        let steps = (d / (self.cell_km / 2.0)).ceil().max(1.0) as usize;
+        let mut last = None;
+        for i in 0..=steps {
+            let p = a.interpolate(&b, i as f64 / steps as f64);
+            let c = self.cell_of(&p);
+            if last != Some(c) {
+                self.cells.entry(c).or_default().push(idx);
+                last = Some(c);
+            }
+        }
+    }
+
+    /// Inserts every segment of `pl` under `tag`.
+    pub fn insert_polyline(&mut self, pl: &Polyline, tag: u32) {
+        for (a, b) in pl.segments() {
+            self.insert_segment(*a, *b, tag);
+        }
+    }
+
+    fn candidates(&self, p: &GeoPoint, radius_km: f64) -> impl Iterator<Item = &Segment> {
+        let rings = (radius_km / self.cell_km).ceil().max(1.0) as i32;
+        let (ci, cj) = self.cell_of(p);
+        let mut seen: Vec<u32> = Vec::new();
+        for di in -rings..=rings {
+            for dj in -rings..=rings {
+                if let Some(list) = self.cells.get(&(ci + di, cj + dj)) {
+                    seen.extend_from_slice(list);
+                }
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+            .map(move |i| &self.segments[i as usize])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// The closest stored segment within `radius_km` of `p`, if any.
+    pub fn nearest_within(&self, p: &GeoPoint, radius_km: f64) -> Option<SegmentHit> {
+        let proj = LocalProjection::new(*p);
+        let mut best: Option<SegmentHit> = None;
+        for seg in self.candidates(p, radius_km) {
+            let d = proj.point_segment_distance_km(p, &seg.a, &seg.b);
+            if d <= radius_km && best.map_or(true, |b| d < b.distance_km) {
+                best = Some(SegmentHit {
+                    tag: seg.tag,
+                    distance_km: d,
+                });
+            }
+        }
+        best
+    }
+
+    /// Whether any stored segment lies within `radius_km` of `p`.
+    pub fn any_within(&self, p: &GeoPoint, radius_km: f64) -> bool {
+        let proj = LocalProjection::new(*p);
+        self.candidates(p, radius_km)
+            .any(|seg| proj.point_segment_distance_km(p, &seg.a, &seg.b) <= radius_km)
+    }
+
+    /// All distinct tags with a segment within `radius_km` of `p`, each with
+    /// its minimum distance, unordered.
+    pub fn tags_within(&self, p: &GeoPoint, radius_km: f64) -> Vec<SegmentHit> {
+        let proj = LocalProjection::new(*p);
+        let mut best: HashMap<u32, f64> = HashMap::new();
+        for seg in self.candidates(p, radius_km) {
+            let d = proj.point_segment_distance_km(p, &seg.a, &seg.b);
+            if d <= radius_km {
+                let e = best.entry(seg.tag).or_insert(f64::INFINITY);
+                if d < *e {
+                    *e = d;
+                }
+            }
+        }
+        best.into_iter()
+            .map(|(tag, distance_km)| SegmentHit { tag, distance_km })
+            .collect()
+    }
+
+    /// Number of stored pieces (after densification of long segments).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the grid holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> GridStats {
+        let refs: usize = self.cells.values().map(Vec::len).sum();
+        GridStats {
+            segments: self.segments.len(),
+            cells: self.cells.len(),
+            mean_occupancy: if self.cells.is_empty() {
+                0.0
+            } else {
+                refs as f64 / self.cells.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new_unchecked(lat, lon)
+    }
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        assert!(SegmentGrid::new(0.0).is_err());
+        assert!(SegmentGrid::new(-3.0).is_err());
+        assert!(SegmentGrid::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn finds_nearby_segment() {
+        let mut g = SegmentGrid::new(5.0).unwrap();
+        g.insert_segment(p(40.0, -100.0), p(40.0, -99.0), 7);
+        // ~1.1 km north of the segment's interior.
+        let q = p(40.01, -99.5);
+        let hit = g.nearest_within(&q, 5.0).expect("should find the segment");
+        assert_eq!(hit.tag, 7);
+        assert!(hit.distance_km < 2.0, "{}", hit.distance_km);
+        assert!(g.any_within(&q, 5.0));
+    }
+
+    #[test]
+    fn misses_far_segment() {
+        let mut g = SegmentGrid::new(5.0).unwrap();
+        g.insert_segment(p(40.0, -100.0), p(40.0, -99.0), 7);
+        // ~55 km north.
+        let q = p(40.5, -99.5);
+        assert!(g.nearest_within(&q, 5.0).is_none());
+        assert!(!g.any_within(&q, 5.0));
+    }
+
+    #[test]
+    fn large_radius_expands_search() {
+        let mut g = SegmentGrid::new(5.0).unwrap();
+        g.insert_segment(p(40.0, -100.0), p(40.0, -99.0), 7);
+        let q = p(40.5, -99.5); // ~55 km away
+        let hit = g
+            .nearest_within(&q, 60.0)
+            .expect("should reach with big radius");
+        assert!((hit.distance_km - 55.6).abs() < 2.0, "{}", hit.distance_km);
+    }
+
+    #[test]
+    fn nearest_picks_the_closer_of_two() {
+        let mut g = SegmentGrid::new(5.0).unwrap();
+        g.insert_segment(p(40.0, -100.0), p(40.0, -99.0), 1);
+        g.insert_segment(p(40.2, -100.0), p(40.2, -99.0), 2);
+        let q = p(40.05, -99.5);
+        let hit = g.nearest_within(&q, 50.0).unwrap();
+        assert_eq!(hit.tag, 1);
+    }
+
+    #[test]
+    fn tags_within_reports_each_tag_once() {
+        let mut g = SegmentGrid::new(5.0).unwrap();
+        let pl = Polyline::new(vec![p(40.0, -100.0), p(40.0, -99.5), p(40.0, -99.0)]).unwrap();
+        g.insert_polyline(&pl, 3);
+        g.insert_segment(p(40.02, -99.7), p(40.02, -99.6), 4);
+        let hits = g.tags_within(&p(40.01, -99.65), 10.0);
+        let mut tags: Vec<u32> = hits.iter().map(|h| h.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![3, 4]);
+    }
+
+    #[test]
+    fn long_segment_is_findable_along_its_whole_length() {
+        let mut g = SegmentGrid::new(5.0).unwrap();
+        // 500+ km segment; rasterization must cover all intermediate cells.
+        g.insert_segment(p(40.0, -105.0), p(40.0, -99.0), 9);
+        for lon in [-104.7, -103.0, -101.3, -99.2] {
+            let q = p(40.02, lon);
+            assert!(g.any_within(&q, 5.0), "miss at lon {lon}");
+        }
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut g = SegmentGrid::new(10.0).unwrap();
+        assert!(g.is_empty());
+        g.insert_segment(p(40.0, -100.0), p(40.0, -99.0), 0);
+        let s = g.stats();
+        // An ~85 km segment is stored as ceil(85/20) = 5 densified pieces.
+        assert_eq!(s.segments, 5);
+        assert!(
+            s.cells >= 8,
+            "a ~85 km segment should span several 10 km cells"
+        );
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 5);
+    }
+}

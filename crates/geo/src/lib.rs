@@ -1,0 +1,87 @@
+//! Geospatial substrate for the InterTubes reproduction.
+//!
+//! The paper's geographic analysis (fiber-route lengths, right-of-way
+//! co-location, line-of-sight lower bounds) was performed with commercial GIS
+//! tooling (ArcGIS). This crate implements the required subset from scratch:
+//!
+//! * [`GeoPoint`] — WGS84 latitude/longitude positions with geodesic
+//!   (haversine) distances and destination-point math.
+//! * [`Polyline`] — geographic paths (fiber routes, roads, rails) with
+//!   length, resampling and interpolation.
+//! * [`LocalProjection`] — an equirectangular projection for accurate local
+//!   (≤ ~100 km) planar computations such as point-to-segment distance.
+//! * [`SegmentGrid`] — a uniform spatial hash over polyline segments for
+//!   radius queries; the grid only retrieves candidates, exact distances are
+//!   always recomputed geodesically, so index error never leaks into results.
+//! * [`CorridorIndex`] — the paper's "polygon overlap" analysis (§3, Fig. 4):
+//!   the fraction of a fiber route lying within a buffer of a transport
+//!   corridor layer (road / rail / pipeline).
+//! * Latency constants and helpers (§5.3): propagation delay along fiber at
+//!   4.9 µs/km, consistent with the paper's "100 µs ≈ 20 km".
+//!
+//! All angles are degrees externally and radians internally. Distances are
+//! kilometers, delays are microseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod distance;
+mod grid;
+mod overlap;
+mod point;
+mod polyline;
+mod projection;
+
+pub use bbox::BoundingBox;
+pub use distance::{
+    fiber_delay_us, haversine_km, los_delay_us, EARTH_RADIUS_KM, FIBER_US_PER_KM,
+    SPEED_OF_LIGHT_KM_PER_S,
+};
+pub use grid::{GridStats, SegmentGrid, SegmentHit};
+pub use overlap::{ColocationBreakdown, CorridorIndex, CorridorLayer, OverlapParams};
+pub use point::GeoPoint;
+pub use polyline::Polyline;
+pub use projection::LocalProjection;
+
+/// Errors produced by geometric constructors and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A latitude outside [-90, 90] or longitude outside [-180, 180].
+    InvalidCoordinate {
+        /// Offending latitude in degrees.
+        lat: f64,
+        /// Offending longitude in degrees.
+        lon: f64,
+    },
+    /// A polyline needs at least two points.
+    DegeneratePolyline {
+        /// Number of points supplied.
+        points: usize,
+    },
+    /// A parameter (buffer width, sample step, …) must be strictly positive.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for GeoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeoError::InvalidCoordinate { lat, lon } => {
+                write!(f, "invalid coordinate: lat={lat}, lon={lon}")
+            }
+            GeoError::DegeneratePolyline { points } => {
+                write!(f, "polyline needs at least 2 points, got {points}")
+            }
+            GeoError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be > 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}

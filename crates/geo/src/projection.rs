@@ -1,0 +1,132 @@
+//! Equirectangular local projection.
+//!
+//! All exact planar computations (point-to-segment distance, corridor
+//! buffering) happen in a projection centered near the geometry of interest,
+//! where the flat-Earth error over ≤ 100 km is far below 0.1 %.
+
+use crate::{GeoPoint, EARTH_RADIUS_KM};
+
+/// Kilometers per degree of latitude (constant on the sphere).
+pub(crate) const KM_PER_DEG_LAT: f64 = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+
+/// An equirectangular projection centered at a reference point.
+///
+/// `x` is kilometers east of the origin, `y` kilometers north. Longitude is
+/// scaled by the cosine of the *origin* latitude, so accuracy degrades with
+/// distance from the origin; keep usage local (the corridor analysis
+/// re-centers per query point).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    cos_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centered at `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        LocalProjection {
+            origin,
+            cos_lat: origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// The reference point of this projection.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a point to planar `(x, y)` kilometers.
+    pub fn to_xy(&self, p: &GeoPoint) -> (f64, f64) {
+        let x = (p.lon - self.origin.lon) * KM_PER_DEG_LAT * self.cos_lat;
+        let y = (p.lat - self.origin.lat) * KM_PER_DEG_LAT;
+        (x, y)
+    }
+
+    /// Inverse projection from planar kilometers back to lat/lon degrees.
+    pub fn from_xy(&self, x: f64, y: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.origin.lat + y / KM_PER_DEG_LAT,
+            lon: self.origin.lon + x / (KM_PER_DEG_LAT * self.cos_lat),
+        }
+    }
+
+    /// Distance in kilometers from point `p` to the segment `a`–`b`,
+    /// computed in this projection.
+    pub fn point_segment_distance_km(&self, p: &GeoPoint, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        let (px, py) = self.to_xy(p);
+        let (ax, ay) = self.to_xy(a);
+        let (bx, by) = self.to_xy(b);
+        let (dx, dy) = (bx - ax, by - ay);
+        let len2 = dx * dx + dy * dy;
+        let t = if len2 <= f64::EPSILON {
+            0.0
+        } else {
+            (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+        };
+        let (cx, cy) = (ax + t * dx, ay + t * dy);
+        ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new_unchecked(lat, lon)
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let proj = LocalProjection::new(p(39.5, -98.0));
+        let q = p(39.9, -97.2);
+        let (x, y) = proj.to_xy(&q);
+        let back = proj.from_xy(x, y);
+        assert!((back.lat - q.lat).abs() < 1e-12);
+        assert!((back.lon - q.lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_distance_matches_haversine_locally() {
+        let a = p(39.5, -98.0);
+        let b = p(39.8, -97.6);
+        let proj = LocalProjection::new(a);
+        let (x, y) = proj.to_xy(&b);
+        let planar = (x * x + y * y).sqrt();
+        let geo = a.distance_km(&b);
+        assert!(
+            (planar - geo).abs() / geo < 0.002,
+            "planar {planar} vs geo {geo}"
+        );
+    }
+
+    #[test]
+    fn point_on_segment_has_zero_distance() {
+        let proj = LocalProjection::new(p(40.0, -100.0));
+        let a = p(40.0, -100.0);
+        let b = p(40.0, -99.0);
+        let mid = p(40.0, -99.5);
+        assert!(proj.point_segment_distance_km(&mid, &a, &b) < 0.05);
+    }
+
+    #[test]
+    fn distance_clamps_to_endpoints() {
+        let proj = LocalProjection::new(p(40.0, -100.0));
+        let a = p(40.0, -100.0);
+        let b = p(40.0, -99.5);
+        // A point beyond b projects onto the endpoint b.
+        let q = p(40.0, -99.0);
+        let d = proj.point_segment_distance_km(&q, &a, &b);
+        let expected = q.distance_km(&b);
+        assert!((d - expected).abs() < 0.3, "{d} vs {expected}");
+    }
+
+    #[test]
+    fn degenerate_segment_measures_to_point() {
+        let proj = LocalProjection::new(p(40.0, -100.0));
+        let a = p(40.0, -100.0);
+        let q = p(40.2, -100.0);
+        let d = proj.point_segment_distance_km(&q, &a, &a);
+        assert!((d - q.distance_km(&a)).abs() < 0.05);
+    }
+}

@@ -1,0 +1,384 @@
+//! Connectivity, bridges, articulation points, and global min cut.
+//!
+//! These are the robustness primitives behind the paper's §4 framing: a
+//! *bridge* conduit is one whose single cut partitions the network, and the
+//! Stoer–Wagner global min cut answers "how many (weighted) fiber cuts are
+//! needed to partition the US long-haul infrastructure".
+
+use crate::{EdgeId, MultiGraph, NodeId};
+
+/// Assigns each node a component index; returns `(component_of, count)`.
+pub fn connected_components<N, E>(g: &MultiGraph<N, E>) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.node_count()];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for start in g.node_ids() {
+        if comp[start.index()] != u32::MAX {
+            continue;
+        }
+        comp[start.index()] = count;
+        stack.push(start);
+        while let Some(n) = stack.pop() {
+            for (_, m) in g.neighbors(n) {
+                if comp[m.index()] == u32::MAX {
+                    comp[m.index()] = count;
+                    stack.push(m);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// Whether the graph is connected (vacuously true when empty).
+pub fn is_connected<N, E>(g: &MultiGraph<N, E>) -> bool {
+    g.node_count() == 0 || connected_components(g).1 == 1
+}
+
+struct DfsState {
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    timer: u32,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Runs an iterative lowlink DFS, invoking callbacks on tree retreat.
+///
+/// `on_retreat(parent, child, edge, low_child, disc_parent, root_children)`
+fn lowlink_dfs<N, E>(
+    g: &MultiGraph<N, E>,
+    mut on_retreat: impl FnMut(NodeId, NodeId, EdgeId, u32, u32),
+    mut on_root_done: impl FnMut(NodeId, usize),
+) -> DfsState {
+    let n = g.node_count();
+    let mut st = DfsState {
+        disc: vec![UNVISITED; n],
+        low: vec![0; n],
+        timer: 0,
+    };
+    // Frame: (node, entering edge id or MAX, parent or MAX, next adj index)
+    let mut stack: Vec<(NodeId, u32, u32, usize)> = Vec::new();
+    let adj: Vec<Vec<(EdgeId, NodeId)>> = g.node_ids().map(|v| g.neighbors(v).collect()).collect();
+
+    for root in g.node_ids() {
+        if st.disc[root.index()] != UNVISITED {
+            continue;
+        }
+        let mut root_children = 0usize;
+        st.disc[root.index()] = st.timer;
+        st.low[root.index()] = st.timer;
+        st.timer += 1;
+        stack.push((root, u32::MAX, u32::MAX, 0));
+        while let Some(frame) = stack.last_mut() {
+            let (node, in_edge, parent, idx) = *frame;
+            if idx < adj[node.index()].len() {
+                frame.3 += 1;
+                let (e, m) = adj[node.index()][idx];
+                if e.0 == in_edge || m == node {
+                    continue; // the tree edge we entered on, or a self-loop
+                }
+                if st.disc[m.index()] == UNVISITED {
+                    st.disc[m.index()] = st.timer;
+                    st.low[m.index()] = st.timer;
+                    st.timer += 1;
+                    if node == root {
+                        root_children += 1;
+                    }
+                    stack.push((m, e.0, node.0, 0));
+                } else {
+                    // Back edge (or parallel edge to parent — also a back edge).
+                    st.low[node.index()] = st.low[node.index()].min(st.disc[m.index()]);
+                }
+            } else {
+                stack.pop();
+                if parent != u32::MAX {
+                    let p = NodeId(parent);
+                    let low_child = st.low[node.index()];
+                    st.low[p.index()] = st.low[p.index()].min(low_child);
+                    on_retreat(p, node, EdgeId(in_edge), low_child, st.disc[p.index()]);
+                }
+            }
+        }
+        on_root_done(root, root_children);
+    }
+    st
+}
+
+/// All bridge edges: edges whose removal disconnects their component.
+///
+/// With parallel edges, a conduit duplicated by a second conduit between the
+/// same cities is (correctly) not a bridge.
+pub fn bridges<N, E>(g: &MultiGraph<N, E>) -> Vec<EdgeId> {
+    let mut out = Vec::new();
+    lowlink_dfs(
+        g,
+        |p, _child, e, low_child, disc_p| {
+            if low_child > disc_p {
+                out.push(e);
+            }
+            let _ = p;
+        },
+        |_, _| {},
+    );
+    out.sort_unstable();
+    out
+}
+
+/// All articulation points: nodes whose removal disconnects their component.
+pub fn articulation_points<N, E>(g: &MultiGraph<N, E>) -> Vec<NodeId> {
+    let mut is_art = vec![false; g.node_count()];
+    let mut roots: Vec<(NodeId, usize)> = Vec::new();
+    lowlink_dfs(
+        g,
+        |p, _child, _e, low_child, disc_p| {
+            if low_child >= disc_p {
+                is_art[p.index()] = true;
+            }
+        },
+        |root, children| roots.push((root, children)),
+    );
+    for (root, children) in roots {
+        is_art[root.index()] = children >= 2;
+    }
+    is_art
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| **a)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// Global minimum cut (Stoer–Wagner) of an undirected weighted graph.
+///
+/// `weight` gives each edge's capacity (must be ≥ 0; parallel edges sum).
+/// Returns `(cut_weight, one_side)` where `one_side` is the set of nodes on
+/// one shore of the cut. Returns weight `0.0` with a trivial side if the
+/// graph is disconnected or has fewer than two nodes.
+pub fn stoer_wagner_min_cut<N, E>(
+    g: &MultiGraph<N, E>,
+    mut weight: impl FnMut(EdgeId) -> f64,
+) -> (f64, Vec<NodeId>) {
+    let n = g.node_count();
+    if n < 2 {
+        return (0.0, Vec::new());
+    }
+    // Dense weight matrix with parallel edges merged; self-loops ignored.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        if u == v {
+            continue;
+        }
+        let c = weight(e).max(0.0);
+        w[u.index()][v.index()] += c;
+        w[v.index()][u.index()] += c;
+    }
+    // merged[i] = original nodes currently contracted into vertex i.
+    let mut merged: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best = (f64::INFINITY, Vec::new());
+
+    while active.len() > 1 {
+        // Maximum adjacency (minimum cut phase).
+        let mut in_a = vec![false; n];
+        let mut conn = vec![0.0f64; n];
+        let mut prev = usize::MAX;
+        let mut last = usize::MAX;
+        for _ in 0..active.len() {
+            // Select the most tightly connected vertex not yet in A.
+            let (&sel, _) = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .map(|v| (v, conn[*v]))
+                .fold((&usize::MAX, f64::NEG_INFINITY), |acc, (v, c)| {
+                    if c > acc.1 {
+                        (v, c)
+                    } else {
+                        acc
+                    }
+                });
+            in_a[sel] = true;
+            prev = last;
+            last = sel;
+            for &v in &active {
+                if !in_a[v] {
+                    conn[v] += w[sel][v];
+                }
+            }
+        }
+        // Cut-of-the-phase: `last` alone vs the rest.
+        let cut = {
+            let mut s = 0.0;
+            for &v in &active {
+                if v != last {
+                    s += w[last][v];
+                }
+            }
+            s
+        };
+        if cut < best.0 {
+            best = (cut, merged[last].iter().map(|&i| NodeId(i)).collect());
+        }
+        // Contract `last` into `prev`.
+        let taken = std::mem::take(&mut merged[last]);
+        merged[prev].extend(taken);
+        for &v in &active {
+            if v != prev && v != last {
+                w[prev][v] += w[last][v];
+                w[v][prev] = w[prev][v];
+            }
+        }
+        active.retain(|&v| v != last);
+    }
+    if best.0.is_infinite() {
+        (0.0, Vec::new())
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn barbell() -> MultiGraph<(), f64> {
+        // Triangle a-b-c, triangle d-e-f, bridge c-d.
+        let mut g = MultiGraph::new();
+        let ns: Vec<NodeId> = (0..6).map(|_| g.add_node(())).collect();
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(ns[u], ns[v], 1.0);
+        }
+        g.add_edge(ns[2], ns[3], 1.0); // the bridge, edge id 6
+        g
+    }
+
+    #[test]
+    fn components_counts() {
+        let mut g = barbell();
+        assert!(is_connected(&g));
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+        g.add_node(()); // isolated node
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 2);
+        assert_eq!(comp[6], 1);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g: MultiGraph<(), ()> = MultiGraph::new();
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).1, 0);
+    }
+
+    #[test]
+    fn finds_the_bridge() {
+        let g = barbell();
+        assert_eq!(bridges(&g), vec![EdgeId(6)]);
+    }
+
+    #[test]
+    fn parallel_edge_kills_bridge() {
+        let mut g = barbell();
+        g.add_edge(NodeId(2), NodeId(3), 1.0); // duplicate the bridge
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn chain_is_all_bridges() {
+        let mut g: MultiGraph<(), ()> = MultiGraph::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        let e0 = g.add_edge(ns[0], ns[1], ());
+        let e1 = g.add_edge(ns[1], ns[2], ());
+        let e2 = g.add_edge(ns[2], ns[3], ());
+        assert_eq!(bridges(&g), vec![e0, e1, e2]);
+        assert_eq!(articulation_points(&g), vec![ns[1], ns[2]]);
+    }
+
+    #[test]
+    fn articulation_points_of_barbell() {
+        let g = barbell();
+        assert_eq!(articulation_points(&g), vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges_or_cut_vertices() {
+        let mut g: MultiGraph<(), ()> = MultiGraph::new();
+        let ns: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        for i in 0..5 {
+            g.add_edge(ns[i], ns[(i + 1) % 5], ());
+        }
+        assert!(bridges(&g).is_empty());
+        assert!(articulation_points(&g).is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_never_a_bridge() {
+        let mut g: MultiGraph<(), ()> = MultiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a, ());
+        let e = g.add_edge(a, b, ());
+        assert_eq!(bridges(&g), vec![e]);
+    }
+
+    #[test]
+    fn min_cut_of_barbell_is_the_bridge() {
+        let g = barbell();
+        let (w, side) = stoer_wagner_min_cut(&g, |e| *g.edge(e));
+        assert_eq!(w, 1.0);
+        assert!(
+            side.len() == 3,
+            "one shore should be a triangle, got {side:?}"
+        );
+    }
+
+    #[test]
+    fn min_cut_respects_weights() {
+        // Square with one heavy diagonal: cut isolates the lightest corner.
+        let mut g: MultiGraph<(), f64> = MultiGraph::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ns[0], ns[1], 10.0);
+        g.add_edge(ns[1], ns[2], 10.0);
+        g.add_edge(ns[2], ns[3], 1.0);
+        g.add_edge(ns[3], ns[0], 1.0);
+        let (w, side) = stoer_wagner_min_cut(&g, |e| *g.edge(e));
+        assert_eq!(w, 2.0);
+        assert!(side == vec![ns[3]] || side.len() == 3);
+    }
+
+    #[test]
+    fn min_cut_sums_parallel_edges() {
+        let mut g: MultiGraph<(), f64> = MultiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, b, 2.5);
+        let (w, _) = stoer_wagner_min_cut(&g, |e| *g.edge(e));
+        assert!((w - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_cut_disconnected_is_zero() {
+        let mut g: MultiGraph<(), f64> = MultiGraph::new();
+        let a = g.add_node(());
+        let _b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, c, 5.0);
+        let (w, _) = stoer_wagner_min_cut(&g, |e| *g.edge(e));
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn min_cut_tiny_graphs() {
+        let g: MultiGraph<(), f64> = MultiGraph::new();
+        assert_eq!(stoer_wagner_min_cut(&g, |_| 1.0).0, 0.0);
+        let mut g1: MultiGraph<(), f64> = MultiGraph::new();
+        g1.add_node(());
+        assert_eq!(stoer_wagner_min_cut(&g1, |_| 1.0).0, 0.0);
+    }
+}

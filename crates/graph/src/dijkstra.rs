@@ -1,0 +1,333 @@
+//! Dijkstra shortest paths with caller-supplied edge costs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{EdgeId, GraphError, MultiGraph, NodeId, Path};
+
+/// A total-ordering wrapper for finite non-negative `f64` costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Result of a single-source search: distances and predecessor links.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    /// `dist[n]` = cost of the cheapest path source→n, or `f64::INFINITY`.
+    dist: Vec<f64>,
+    /// `prev[n]` = (edge into n, previous node) on a cheapest path.
+    prev: Vec<Option<(EdgeId, NodeId)>>,
+}
+
+impl ShortestPathTree {
+    /// The search source.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Cost of the cheapest path to `n` (`f64::INFINITY` if unreachable).
+    pub fn distance(&self, n: NodeId) -> f64 {
+        self.dist[n.index()]
+    }
+
+    /// Whether `n` is reachable from the source.
+    pub fn reachable(&self, n: NodeId) -> bool {
+        self.dist[n.index()].is_finite()
+    }
+
+    /// Reconstructs the cheapest path to `target`, or `None` if unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        if !self.reachable(target) {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some((e, p)) = self.prev[cur.index()] {
+            edges.push(e);
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(Path {
+            nodes,
+            edges,
+            cost: self.dist[target.index()],
+        })
+    }
+}
+
+/// Runs Dijkstra from `source` over all edges, using `cost` per edge.
+///
+/// Costs must be non-negative and finite; otherwise an error is returned the
+/// first time an offending edge is relaxed. `f64::INFINITY` is allowed and
+/// treated as "edge absent".
+pub fn shortest_path_tree<N, E>(
+    g: &MultiGraph<N, E>,
+    source: NodeId,
+    mut cost: impl FnMut(EdgeId) -> f64,
+) -> Result<ShortestPathTree, GraphError> {
+    if source.index() >= g.node_count() {
+        return Err(GraphError::NodeOutOfBounds {
+            index: source.0,
+            nodes: g.node_count(),
+        });
+    }
+    let mut dist = vec![f64::INFINITY; g.node_count()];
+    let mut prev: Vec<Option<(EdgeId, NodeId)>> = vec![None; g.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), source)));
+    while let Some(Reverse((OrdF64(d), n))) = heap.pop() {
+        if d > dist[n.index()] {
+            continue; // stale entry
+        }
+        for (e, m) in g.neighbors(n) {
+            let c = cost(e);
+            if c.is_nan() || c < 0.0 {
+                return Err(GraphError::InvalidCost { edge: e });
+            }
+            if c.is_infinite() {
+                continue;
+            }
+            let nd = d + c;
+            if nd < dist[m.index()] {
+                dist[m.index()] = nd;
+                prev[m.index()] = Some((e, n));
+                heap.push(Reverse((OrdF64(nd), m)));
+            }
+        }
+    }
+    Ok(ShortestPathTree { source, dist, prev })
+}
+
+/// Cheapest path from `source` to `target`, or `Ok(None)` if disconnected.
+pub fn dijkstra<N, E>(
+    g: &MultiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    cost: impl FnMut(EdgeId) -> f64,
+) -> Result<Option<Path>, GraphError> {
+    if target.index() >= g.node_count() {
+        return Err(GraphError::NodeOutOfBounds {
+            index: target.0,
+            nodes: g.node_count(),
+        });
+    }
+    Ok(shortest_path_tree(g, source, cost)?.path_to(target))
+}
+
+/// Like [`dijkstra`], but with explicit node and edge masks: banned nodes
+/// and edges are skipped entirely. Used by Yen's algorithm and by the
+/// mitigation frameworks to search "all conduits except …".
+pub fn dijkstra_filtered<N, E>(
+    g: &MultiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    mut cost: impl FnMut(EdgeId) -> f64,
+    banned_nodes: &[bool],
+    banned_edges: &[bool],
+) -> Result<Option<Path>, GraphError> {
+    if banned_nodes.get(source.index()).copied().unwrap_or(false) {
+        return Ok(None);
+    }
+    let masked = |e: EdgeId, c: f64, g: &MultiGraph<N, E>| {
+        let (u, v) = g.endpoints(e);
+        if banned_edges.get(e.index()).copied().unwrap_or(false)
+            || banned_nodes.get(u.index()).copied().unwrap_or(false)
+            || banned_nodes.get(v.index()).copied().unwrap_or(false)
+        {
+            f64::INFINITY
+        } else {
+            c
+        }
+    };
+    let mut err = None;
+    let tree = shortest_path_tree(g, source, |e| {
+        let c = cost(e);
+        if c.is_nan() || c < 0.0 {
+            err = Some(GraphError::InvalidCost { edge: e });
+            return f64::INFINITY;
+        }
+        masked(e, c, g)
+    })?;
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if target.index() >= g.node_count() {
+        return Err(GraphError::NodeOutOfBounds {
+            index: target.0,
+            nodes: g.node_count(),
+        });
+    }
+    Ok(tree.path_to(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a(0) -1- b(1) -1- c(2) -1- d(3); a -5- d direct; parallel cheap a-d.
+    fn g() -> MultiGraph<(), f64> {
+        let mut g = MultiGraph::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ns[0], ns[1], 1.0);
+        g.add_edge(ns[1], ns[2], 1.0);
+        g.add_edge(ns[2], ns[3], 1.0);
+        g.add_edge(ns[0], ns[3], 5.0);
+        g
+    }
+
+    #[test]
+    fn finds_cheapest_path() {
+        let g = g();
+        let p = dijkstra(&g, NodeId(0), NodeId(3), |e| *g.edge(e))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.cost, 3.0);
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(p.is_valid_in(&g));
+    }
+
+    #[test]
+    fn parallel_edge_choice_prefers_cheaper() {
+        let mut g = g();
+        let cheap = g.add_edge(NodeId(0), NodeId(3), 0.5);
+        let p = dijkstra(&g, NodeId(0), NodeId(3), |e| *g.edge(e))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.cost, 0.5);
+        assert_eq!(p.edges, vec![cheap]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = g();
+        let lonely = g.add_node(());
+        let p = dijkstra(&g, NodeId(0), lonely, |e| *g.edge(e)).unwrap();
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn source_to_self_is_trivial() {
+        let g = g();
+        let p = dijkstra(&g, NodeId(2), NodeId(2), |e| *g.edge(e))
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.cost, 0.0);
+    }
+
+    #[test]
+    fn negative_cost_is_rejected() {
+        let g = g();
+        let r = dijkstra(&g, NodeId(0), NodeId(3), |_| -1.0);
+        assert!(matches!(r, Err(GraphError::InvalidCost { .. })));
+        let r = dijkstra(&g, NodeId(0), NodeId(3), |_| f64::NAN);
+        assert!(matches!(r, Err(GraphError::InvalidCost { .. })));
+    }
+
+    #[test]
+    fn infinite_cost_masks_edge() {
+        let g = g();
+        // Mask the direct edge: path must go the long way even if direct were cheap.
+        let p = dijkstra(&g, NodeId(0), NodeId(3), |e| {
+            if e == EdgeId(3) {
+                f64::INFINITY
+            } else {
+                *g.edge(e)
+            }
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn out_of_bounds_source_errors() {
+        let g = g();
+        assert!(shortest_path_tree(&g, NodeId(42), |_| 1.0).is_err());
+        assert!(dijkstra(&g, NodeId(0), NodeId(42), |_| 1.0).is_err());
+    }
+
+    #[test]
+    fn tree_distances_are_consistent() {
+        let g = g();
+        let t = shortest_path_tree(&g, NodeId(0), |e| *g.edge(e)).unwrap();
+        assert_eq!(t.distance(NodeId(0)), 0.0);
+        assert_eq!(t.distance(NodeId(2)), 2.0);
+        assert_eq!(t.distance(NodeId(3)), 3.0);
+        assert!(t.reachable(NodeId(3)));
+        let p = t.path_to(NodeId(2)).unwrap();
+        assert_eq!(p.cost, 2.0);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.target(), NodeId(2));
+    }
+
+    #[test]
+    fn filtered_banned_node_forces_detour() {
+        let g = g();
+        let mut banned_nodes = vec![false; g.node_count()];
+        banned_nodes[1] = true; // ban b: must take the direct a-d edge
+        let p = dijkstra_filtered(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            |e| *g.edge(e),
+            &banned_nodes,
+            &vec![false; g.edge_count()],
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(p.cost, 5.0);
+        assert_eq!(p.hops(), 1);
+    }
+
+    #[test]
+    fn filtered_banned_source_is_none() {
+        let g = g();
+        let mut banned_nodes = vec![false; g.node_count()];
+        banned_nodes[0] = true;
+        let p = dijkstra_filtered(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            |e| *g.edge(e),
+            &banned_nodes,
+            &vec![false; g.edge_count()],
+        )
+        .unwrap();
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn filtered_banned_edges_respected() {
+        let g = g();
+        let mut banned_edges = vec![false; g.edge_count()];
+        banned_edges[3] = true; // ban direct a-d
+        banned_edges[1] = true; // ban b-c: now unreachable
+        let p = dijkstra_filtered(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            |e| *g.edge(e),
+            &vec![false; g.node_count()],
+            &banned_edges,
+        )
+        .unwrap();
+        assert!(p.is_none());
+    }
+}

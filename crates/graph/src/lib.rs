@@ -1,0 +1,82 @@
+//! Graph substrate for the InterTubes reproduction.
+//!
+//! Every network in the paper — the physical conduit map, the synthetic
+//! road/rail networks, per-ISP footprints, and the candidate-augmentation
+//! graphs of §5 — is an undirected multigraph: multiple parallel conduits may
+//! connect the same city pair, and roads/rails routinely run in parallel.
+//!
+//! This crate provides:
+//!
+//! * [`MultiGraph`] — an arena-based undirected multigraph with typed ids
+//!   ([`NodeId`], [`EdgeId`]) and arbitrary node/edge payloads.
+//! * [`dijkstra`] / [`shortest_path_tree`] — non-negative-cost shortest
+//!   paths with a caller-supplied edge cost function, so the same engine
+//!   serves km-cost routing (latency, §5.3), hop-cost routing (path
+//!   inflation, §5.1) and shared-risk-cost routing (eq. 1).
+//! * [`yen_k_shortest`] — loopless k-shortest paths (for the "average of
+//!   existing paths" series of Fig. 12).
+//! * [`connected_components`], [`bridges`], [`articulation_points`],
+//!   [`stoer_wagner_min_cut`] — robustness primitives ("number of fiber cuts
+//!   needed to partition", §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod connectivity;
+mod dijkstra;
+mod multigraph;
+mod path;
+mod yen;
+
+pub use connectivity::{
+    articulation_points, bridges, connected_components, is_connected, stoer_wagner_min_cut,
+};
+pub use dijkstra::{dijkstra, dijkstra_filtered, shortest_path_tree, ShortestPathTree};
+pub use multigraph::{EdgeId, EdgeRef, MultiGraph, NodeId};
+pub use path::Path;
+pub use yen::yen_k_shortest;
+
+/// Errors produced by graph queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was not present in the graph.
+    NodeOutOfBounds {
+        /// The offending id's index.
+        index: u32,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// An edge id was not present in the graph.
+    EdgeOutOfBounds {
+        /// The offending id's index.
+        index: u32,
+        /// Number of edges in the graph.
+        edges: usize,
+    },
+    /// A cost function returned a negative or NaN cost for an edge.
+    InvalidCost {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { index, nodes } => {
+                write!(f, "node id {index} out of bounds (graph has {nodes} nodes)")
+            }
+            GraphError::EdgeOutOfBounds { index, edges } => {
+                write!(f, "edge id {index} out of bounds (graph has {edges} edges)")
+            }
+            GraphError::InvalidCost { edge } => {
+                write!(
+                    f,
+                    "cost function returned a negative or NaN cost for edge {edge:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,362 @@
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// Index of a node in a [`MultiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge in a [`MultiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeRecord<E> {
+    u: NodeId,
+    v: NodeId,
+    data: E,
+}
+
+/// A borrowed view of one edge: its id, endpoints and payload.
+#[derive(Debug)]
+pub struct EdgeRef<'g, E> {
+    /// The edge's id.
+    pub id: EdgeId,
+    /// One endpoint (the `u` passed to `add_edge`).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// The edge payload.
+    pub data: &'g E,
+}
+
+impl<E> Clone for EdgeRef<'_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E> Copy for EdgeRef<'_, E> {}
+
+/// An undirected multigraph with arena storage.
+///
+/// Nodes and edges are append-only (the paper's observation: "installed
+/// conduits rarely become defunct"); algorithms that need edge removal work
+/// on filtered views via cost functions or edge masks instead of mutating
+/// the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiGraph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeRecord<E>>,
+    /// adjacency[n] = (edge, other endpoint) pairs.
+    adjacency: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl<N, E> Default for MultiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> MultiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        MultiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        MultiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            adjacency: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, data: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(data);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between `u` and `v` (parallel edges and
+    /// self-loops are allowed) and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of bounds — edges reference existing
+    /// nodes by construction everywhere in this workspace.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, data: E) -> EdgeId {
+        assert!(
+            u.index() < self.nodes.len(),
+            "edge endpoint u out of bounds"
+        );
+        assert!(
+            v.index() < self.nodes.len(),
+            "edge endpoint v out of bounds"
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeRecord { u, v, data });
+        self.adjacency[u.index()].push((id, v));
+        if u != v {
+            self.adjacency[v.index()].push((id, u));
+        }
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The payload of node `n`.
+    pub fn node(&self, n: NodeId) -> &N {
+        &self.nodes[n.index()]
+    }
+
+    /// Mutable payload of node `n`.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut N {
+        &mut self.nodes[n.index()]
+    }
+
+    /// Checked payload lookup.
+    pub fn try_node(&self, n: NodeId) -> Result<&N, GraphError> {
+        self.nodes
+            .get(n.index())
+            .ok_or(GraphError::NodeOutOfBounds {
+                index: n.0,
+                nodes: self.nodes.len(),
+            })
+    }
+
+    /// The payload of edge `e`.
+    pub fn edge(&self, e: EdgeId) -> &E {
+        &self.edges[e.index()].data
+    }
+
+    /// Mutable payload of edge `e`.
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut E {
+        &mut self.edges[e.index()].data
+    }
+
+    /// Checked edge payload lookup.
+    pub fn try_edge(&self, e: EdgeId) -> Result<&E, GraphError> {
+        self.edges
+            .get(e.index())
+            .map(|r| &r.data)
+            .ok_or(GraphError::EdgeOutOfBounds {
+                index: e.0,
+                edges: self.edges.len(),
+            })
+    }
+
+    /// The two endpoints of edge `e` (in insertion order).
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let r = &self.edges[e.index()];
+        (r.u, r.v)
+    }
+
+    /// Given edge `e` incident to node `n`, the endpoint that is not `n`.
+    /// For self-loops returns `n` itself.
+    pub fn other_endpoint(&self, e: EdgeId, n: NodeId) -> NodeId {
+        let (u, v) = self.endpoints(e);
+        if u == n {
+            v
+        } else {
+            u
+        }
+    }
+
+    /// A borrowed view of edge `e`.
+    pub fn edge_ref(&self, e: EdgeId) -> EdgeRef<'_, E> {
+        let r = &self.edges[e.index()];
+        EdgeRef {
+            id: e,
+            u: r.u,
+            v: r.v,
+            data: &r.data,
+        }
+    }
+
+    /// Iterator over `(edge, neighbour)` pairs incident to `n`.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.adjacency[n.index()].iter().copied()
+    }
+
+    /// Degree of `n` (self-loops count once).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// All edge ids joining `u` and `v` (in either insertion orientation).
+    pub fn edges_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
+        self.adjacency[u.index()]
+            .iter()
+            .filter(|(_, w)| *w == v)
+            .map(|(e, _)| *e)
+            .collect()
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterator over borrowed views of all edges.
+    pub fn edge_refs(&self) -> impl Iterator<Item = EdgeRef<'_, E>> {
+        self.edges.iter().enumerate().map(|(i, r)| EdgeRef {
+            id: EdgeId(i as u32),
+            u: r.u,
+            v: r.v,
+            data: &r.data,
+        })
+    }
+
+    /// Maps the graph to new payload types, preserving structure and ids.
+    pub fn map<N2, E2>(
+        &self,
+        mut fnode: impl FnMut(NodeId, &N) -> N2,
+        mut fedge: impl FnMut(EdgeId, &E) -> E2,
+    ) -> MultiGraph<N2, E2> {
+        MultiGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| fnode(NodeId(i as u32), n))
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, r)| EdgeRecord {
+                    u: r.u,
+                    v: r.v,
+                    data: fedge(EdgeId(i as u32), &r.data),
+                })
+                .collect(),
+            adjacency: self.adjacency.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> MultiGraph<&'static str, f64> {
+        // a --1.0-- b --2.0-- d ; a --2.5-- c --1.0-- d ; plus parallel a-b.
+        let mut g = MultiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, d, 2.0);
+        g.add_edge(a, c, 2.5);
+        g.add_edge(c, d, 1.0);
+        g.add_edge(a, b, 9.0); // parallel edge
+        g
+    }
+
+    #[test]
+    fn counts_and_payloads() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(*g.node(NodeId(2)), "c");
+        assert_eq!(*g.edge(EdgeId(3)), 1.0);
+    }
+
+    #[test]
+    fn adjacency_and_degree() {
+        let g = diamond();
+        let a = NodeId(0);
+        assert_eq!(g.degree(a), 3); // b, c, and parallel b
+        let nbrs: Vec<NodeId> = g.neighbors(a).map(|(_, n)| n).collect();
+        assert_eq!(nbrs.iter().filter(|n| n.0 == 1).count(), 2);
+        assert_eq!(nbrs.iter().filter(|n| n.0 == 2).count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let g = diamond();
+        let es = g.edges_between(NodeId(0), NodeId(1));
+        assert_eq!(es.len(), 2);
+        assert_ne!(es[0], es[1]);
+        // Symmetric query.
+        assert_eq!(g.edges_between(NodeId(1), NodeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn other_endpoint_works() {
+        let g = diamond();
+        let e = g.edges_between(NodeId(1), NodeId(3))[0];
+        assert_eq!(g.other_endpoint(e, NodeId(1)), NodeId(3));
+        assert_eq!(g.other_endpoint(e, NodeId(3)), NodeId(1));
+    }
+
+    #[test]
+    fn self_loop_counts_once_in_adjacency() {
+        let mut g: MultiGraph<(), ()> = MultiGraph::new();
+        let a = g.add_node(());
+        let e = g.add_edge(a, a, ());
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.other_endpoint(e, a), a);
+    }
+
+    #[test]
+    fn checked_lookups() {
+        let g = diamond();
+        assert!(g.try_node(NodeId(99)).is_err());
+        assert!(g.try_edge(EdgeId(99)).is_err());
+        assert!(g.try_node(NodeId(0)).is_ok());
+        assert!(g.try_edge(EdgeId(0)).is_ok());
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let g = diamond();
+        let g2 = g.map(|_, n| n.len(), |_, w| (*w * 10.0) as i64);
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(*g2.edge(EdgeId(1)), 20);
+        assert_eq!(g2.endpoints(EdgeId(1)), g.endpoints(EdgeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_edge_checks_bounds() {
+        let mut g: MultiGraph<(), ()> = MultiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId(5), ());
+    }
+}

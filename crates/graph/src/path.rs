@@ -1,0 +1,156 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{EdgeId, MultiGraph, NodeId};
+
+/// A walk through a [`MultiGraph`]: `nodes.len() == edges.len() + 1`.
+///
+/// `cost` is the sum of the cost function used to find the path — its
+/// meaning (km, hops, shared-risk units) is the caller's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// Visited nodes, source first.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges; `edges[i]` joins `nodes[i]` and `nodes[i+1]`.
+    pub edges: Vec<EdgeId>,
+    /// Total cost under the cost function used for the search.
+    pub cost: f64,
+}
+
+impl Path {
+    /// A zero-cost path consisting of a single node.
+    pub fn trivial(node: NodeId) -> Self {
+        Path {
+            nodes: vec![node],
+            edges: Vec::new(),
+            cost: 0.0,
+        }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn target(&self) -> NodeId {
+        *self
+            .nodes
+            .last()
+            .expect("path invariant: at least one node")
+    }
+
+    /// Number of edges (hops).
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the node/edge structure is internally consistent with `g`.
+    pub fn is_valid_in<N, E>(&self, g: &MultiGraph<N, E>) -> bool {
+        if self.nodes.len() != self.edges.len() + 1 || self.nodes.is_empty() {
+            return false;
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.index() >= g.edge_count() {
+                return false;
+            }
+            let (u, v) = g.endpoints(*e);
+            let (a, b) = (self.nodes[i], self.nodes[i + 1]);
+            if !((u == a && v == b) || (u == b && v == a)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the path visits no node twice (loopless).
+    pub fn is_simple(&self) -> bool {
+        let mut seen: Vec<NodeId> = self.nodes.clone();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Recomputes `cost` under a different edge cost function.
+    pub fn cost_under(&self, mut cost: impl FnMut(EdgeId) -> f64) -> f64 {
+        self.edges.iter().map(|e| cost(*e)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> (MultiGraph<(), ()>, Vec<NodeId>, Vec<EdgeId>) {
+        let mut g = MultiGraph::new();
+        let ns: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        let es = vec![
+            g.add_edge(ns[0], ns[1], ()),
+            g.add_edge(ns[1], ns[2], ()),
+            g.add_edge(ns[2], ns[3], ()),
+        ];
+        (g, ns, es)
+    }
+
+    #[test]
+    fn valid_path_checks() {
+        let (g, ns, es) = line();
+        let p = Path {
+            nodes: ns.clone(),
+            edges: es.clone(),
+            cost: 3.0,
+        };
+        assert!(p.is_valid_in(&g));
+        assert!(p.is_simple());
+        assert_eq!(p.hops(), 3);
+        assert_eq!(p.source(), ns[0]);
+        assert_eq!(p.target(), ns[3]);
+    }
+
+    #[test]
+    fn detects_structural_mismatch() {
+        let (g, ns, es) = line();
+        // Edge 2 joins ns[2]-ns[3], not ns[0]-ns[1].
+        let p = Path {
+            nodes: vec![ns[0], ns[1]],
+            edges: vec![es[2]],
+            cost: 1.0,
+        };
+        assert!(!p.is_valid_in(&g));
+        // Wrong arity.
+        let p = Path {
+            nodes: vec![ns[0], ns[1]],
+            edges: vec![],
+            cost: 0.0,
+        };
+        assert!(!p.is_valid_in(&g));
+    }
+
+    #[test]
+    fn non_simple_detected() {
+        let (_, ns, es) = line();
+        let p = Path {
+            nodes: vec![ns[0], ns[1], ns[0]],
+            edges: vec![es[0], es[0]],
+            cost: 2.0,
+        };
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn cost_under_recomputes() {
+        let (_, ns, es) = line();
+        let p = Path {
+            nodes: ns,
+            edges: es,
+            cost: 3.0,
+        };
+        assert_eq!(p.cost_under(|_| 2.5), 7.5);
+    }
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(7));
+        assert_eq!(p.source(), p.target());
+        assert_eq!(p.hops(), 0);
+        assert!(p.is_simple());
+    }
+}

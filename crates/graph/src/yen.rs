@@ -1,0 +1,194 @@
+//! Yen's k-shortest loopless paths.
+//!
+//! Used for the "average delay across all physical paths" series in the
+//! paper's Fig. 12, where multiple existing conduit paths join a city pair.
+
+use crate::{dijkstra_filtered, EdgeId, GraphError, MultiGraph, NodeId, Path};
+
+/// Returns up to `k` cheapest *loopless* paths from `source` to `target`,
+/// sorted by ascending cost.
+///
+/// Parallel edges are handled correctly: two paths through the same node
+/// sequence but different parallel conduits are distinct.
+///
+/// `cost` must be non-negative and finite for present edges
+/// (`f64::INFINITY` masks an edge, as in [`crate::dijkstra`]).
+pub fn yen_k_shortest<N, E>(
+    g: &MultiGraph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    cost: impl Fn(EdgeId) -> f64,
+) -> Result<Vec<Path>, GraphError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let no_nodes = vec![false; g.node_count()];
+    let no_edges = vec![false; g.edge_count()];
+    let first = match dijkstra_filtered(g, source, target, &cost, &no_nodes, &no_edges)? {
+        Some(p) => p,
+        None => return Ok(Vec::new()),
+    };
+    let mut accepted: Vec<Path> = vec![first];
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("accepted is non-empty").clone();
+        // Each node of the last accepted path except the target is a spur.
+        for j in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[j];
+            let root_nodes = &last.nodes[..=j];
+            let root_edges = &last.edges[..j];
+
+            let mut banned_edges = vec![false; g.edge_count()];
+            for p in accepted.iter().chain(candidates.iter()) {
+                if p.edges.len() > j
+                    && p.nodes.len() > j
+                    && p.nodes[..=j] == *root_nodes
+                    && p.edges[..j] == *root_edges
+                {
+                    banned_edges[p.edges[j].index()] = true;
+                }
+            }
+            // Ban the root's interior nodes so spur paths are loopless.
+            let mut banned_nodes = vec![false; g.node_count()];
+            for n in &root_nodes[..j] {
+                banned_nodes[n.index()] = true;
+            }
+
+            let spur =
+                dijkstra_filtered(g, spur_node, target, &cost, &banned_nodes, &banned_edges)?;
+            if let Some(spur) = spur {
+                let root_cost: f64 = root_edges.iter().map(|e| cost(*e)).sum();
+                let mut nodes = root_nodes.to_vec();
+                nodes.extend_from_slice(&spur.nodes[1..]);
+                let mut edges = root_edges.to_vec();
+                edges.extend_from_slice(&spur.edges);
+                let cand = Path {
+                    nodes,
+                    edges,
+                    cost: root_cost + spur.cost,
+                };
+                let dup = accepted
+                    .iter()
+                    .chain(candidates.iter())
+                    .any(|p| p.edges == cand.edges);
+                if !dup {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the cheapest candidate into the accepted list.
+        let (best_idx, _) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.cost.total_cmp(&b.cost))
+            .expect("candidates is non-empty");
+        accepted.push(candidates.swap_remove(best_idx));
+    }
+    Ok(accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic Yen example topology plus a parallel edge.
+    ///
+    /// c(0) -3- d(1) -4- f(2)
+    /// c -2- e(3) -1- d ; e -2- f ; e -3- g(4) ; f -2- h(5) ; g -2- h ; d -1- g(absent)
+    fn g() -> MultiGraph<&'static str, f64> {
+        let mut g = MultiGraph::new();
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        let f = g.add_node("f");
+        let e = g.add_node("e");
+        let gg = g.add_node("g");
+        let h = g.add_node("h");
+        g.add_edge(c, d, 3.0);
+        g.add_edge(d, f, 4.0);
+        g.add_edge(c, e, 2.0);
+        g.add_edge(e, d, 1.0);
+        g.add_edge(e, f, 2.0);
+        g.add_edge(e, gg, 3.0);
+        g.add_edge(f, h, 2.0);
+        g.add_edge(gg, h, 2.0);
+        g
+    }
+
+    #[test]
+    fn finds_k_paths_in_ascending_cost() {
+        let g = g();
+        // c(0) → h(5)
+        let ps = yen_k_shortest(&g, NodeId(0), NodeId(5), 4, |e| *g.edge(e)).unwrap();
+        assert!(ps.len() >= 3, "found {}", ps.len());
+        for w in ps.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-12);
+        }
+        // Best: c-e-f-h = 2+2+2 = 6.
+        assert!((ps[0].cost - 6.0).abs() < 1e-9, "best cost {}", ps[0].cost);
+        for p in &ps {
+            assert!(p.is_valid_in(&g));
+            assert!(p.is_simple(), "path not loopless: {:?}", p.nodes);
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.target(), NodeId(5));
+        }
+        // All distinct edge sequences.
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i].edges, ps[j].edges);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_yield_distinct_paths() {
+        let mut g: MultiGraph<(), f64> = MultiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, b, 2.0);
+        let ps = yen_k_shortest(&g, a, b, 5, |e| *g.edge(e)).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].cost, 1.0);
+        assert_eq!(ps[1].cost, 2.0);
+        assert_ne!(ps[0].edges, ps[1].edges);
+    }
+
+    #[test]
+    fn k_zero_and_disconnected() {
+        let g = g();
+        assert!(yen_k_shortest(&g, NodeId(0), NodeId(5), 0, |e| *g.edge(e))
+            .unwrap()
+            .is_empty());
+        let mut g2 = g.clone();
+        let lonely = g2.add_node("x");
+        assert!(yen_k_shortest(&g2, NodeId(0), lonely, 3, |e| *g2.edge(e))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn exhausts_when_fewer_than_k_paths_exist() {
+        let mut g: MultiGraph<(), f64> = MultiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        let ps = yen_k_shortest(&g, a, b, 10, |e| *g.edge(e)).unwrap();
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn k_one_matches_dijkstra() {
+        let g = g();
+        let yen = yen_k_shortest(&g, NodeId(0), NodeId(2), 1, |e| *g.edge(e)).unwrap();
+        let dj = crate::dijkstra(&g, NodeId(0), NodeId(2), |e| *g.edge(e))
+            .unwrap()
+            .unwrap();
+        assert_eq!(yen.len(), 1);
+        assert!((yen[0].cost - dj.cost).abs() < 1e-12);
+    }
+}

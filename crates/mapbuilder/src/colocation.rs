@@ -1,0 +1,204 @@
+//! §3: geography of fiber deployments — co-location of constructed-map
+//! conduits with transportation infrastructure (Fig. 4), and the accounting
+//! of conduits on no known road/rail corridor (Fig. 5's pipeline cases).
+
+use intertubes_atlas::TransportNetwork;
+use intertubes_geo::{CorridorIndex, CorridorLayer, GeoError, OverlapParams};
+use serde::{Deserialize, Serialize};
+
+use crate::model::FiberMap;
+
+/// Histogram of per-conduit co-location fractions for one layer (Fig. 4's
+/// plotted quantity): `bins[i]` counts conduits whose co-located fraction
+/// falls in `[i/n, (i+1)/n)` (last bin closed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationHistogram {
+    /// Bin counts.
+    pub bins: Vec<usize>,
+    /// Total conduits measured.
+    pub total: usize,
+}
+
+impl ColocationHistogram {
+    fn new(n: usize) -> Self {
+        ColocationHistogram {
+            bins: vec![0; n],
+            total: 0,
+        }
+    }
+
+    fn add(&mut self, fraction: f64) {
+        let n = self.bins.len();
+        let i = ((fraction * n as f64) as usize).min(n - 1);
+        self.bins[i] += 1;
+        self.total += 1;
+    }
+
+    /// Relative frequency per bin.
+    pub fn relative(&self) -> Vec<f64> {
+        let t = self.total.max(1) as f64;
+        self.bins.iter().map(|&b| b as f64 / t).collect()
+    }
+
+    /// Mean co-located fraction (bin midpoints).
+    pub fn mean(&self) -> f64 {
+        let n = self.bins.len() as f64;
+        let t = self.total.max(1) as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b as f64 * (i as f64 + 0.5) / n)
+            .sum::<f64>()
+            / t
+    }
+}
+
+/// The full Fig. 4 result: histograms for road, rail and their union, plus
+/// the off-corridor accounting the paper explains with pipelines (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationReport {
+    /// Road co-location histogram.
+    pub road: ColocationHistogram,
+    /// Rail co-location histogram.
+    pub rail: ColocationHistogram,
+    /// Road-or-rail co-location histogram.
+    pub road_or_rail: ColocationHistogram,
+    /// Conduits predominantly (> 50 %) on *no* road/rail corridor.
+    pub off_corridor: usize,
+    /// Of those, conduits explained by a pipeline right-of-way.
+    pub pipeline_explained: usize,
+    /// Conduits measured.
+    pub total: usize,
+}
+
+/// Builds a [`CorridorIndex`] over the public transport layers.
+pub fn corridor_index(
+    roads: &TransportNetwork,
+    rails: &TransportNetwork,
+    pipelines: &TransportNetwork,
+    cell_km: f64,
+) -> Result<CorridorIndex, GeoError> {
+    let mut idx = CorridorIndex::new(cell_km)?;
+    for (tag, g) in roads.geometries() {
+        idx.add_corridor(CorridorLayer::Road, g, tag);
+    }
+    for (tag, g) in rails.geometries() {
+        idx.add_corridor(CorridorLayer::Rail, g, tag);
+    }
+    for (tag, g) in pipelines.geometries() {
+        idx.add_corridor(CorridorLayer::Pipeline, g, tag);
+    }
+    Ok(idx)
+}
+
+/// Computes the Fig. 4 / Fig. 5 co-location analysis for a constructed map.
+pub fn analyze_colocation(
+    map: &FiberMap,
+    idx: &CorridorIndex,
+    params: &OverlapParams,
+    bins: usize,
+) -> Result<ColocationReport, GeoError> {
+    let mut road = ColocationHistogram::new(bins);
+    let mut rail = ColocationHistogram::new(bins);
+    let mut union = ColocationHistogram::new(bins);
+    let mut off = 0usize;
+    let mut pipe_explained = 0usize;
+    for c in &map.conduits {
+        let b = idx.colocation(&c.geometry, params)?;
+        road.add(b.road);
+        rail.add(b.rail);
+        union.add(b.road_or_rail);
+        if b.road_or_rail < 0.5 {
+            off += 1;
+            if b.pipeline >= 0.5 {
+                pipe_explained += 1;
+            }
+        }
+    }
+    Ok(ColocationReport {
+        road,
+        rail,
+        road_or_rail: union,
+        off_corridor: off,
+        pipeline_explained: pipe_explained,
+        total: map.conduits.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{build_map, PipelineConfig};
+    use intertubes_atlas::World;
+    use intertubes_records::{generate_corpus, CorpusConfig};
+
+    fn report() -> ColocationReport {
+        let w = World::reference();
+        let corpus = generate_corpus(&w, &CorpusConfig::default());
+        let built = build_map(
+            &w.publish_maps(),
+            &corpus,
+            &w.cities,
+            &w.roads,
+            &w.rails,
+            &PipelineConfig::default(),
+        );
+        let idx = corridor_index(&w.roads, &w.rails, &w.pipelines, 5.0).unwrap();
+        analyze_colocation(&built.map, &idx, &OverlapParams::default(), 10).unwrap()
+    }
+
+    #[test]
+    fn histogram_bins_and_totals() {
+        let mut h = ColocationHistogram::new(10);
+        h.add(0.0);
+        h.add(0.05);
+        h.add(0.95);
+        h.add(1.0); // clamps into the last bin
+        assert_eq!(h.bins[0], 2);
+        assert_eq!(h.bins[9], 2);
+        assert_eq!(h.total, 4);
+        let rel = h.relative();
+        assert!((rel.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h.mean() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn fig4_shape_holds() {
+        let r = report();
+        // Paper: a significant fraction of links co-located with roads;
+        // roads more common than rail; union highest of all.
+        assert!(
+            r.road.mean() > r.rail.mean(),
+            "road {} vs rail {}",
+            r.road.mean(),
+            r.rail.mean()
+        );
+        assert!(r.road_or_rail.mean() >= r.road.mean());
+        assert!(
+            r.road_or_rail.mean() > 0.6,
+            "union mean {}",
+            r.road_or_rail.mean()
+        );
+        // Most conduits are predominantly on a corridor.
+        assert!(
+            r.off_corridor * 5 < r.total,
+            "{} of {} off-corridor",
+            r.off_corridor,
+            r.total
+        );
+    }
+
+    #[test]
+    fn fig5_pipeline_explains_some_off_corridor() {
+        let r = report();
+        // The paper explains part (not all) of the off-corridor conduits
+        // with pipeline rights-of-way.
+        assert!(r.pipeline_explained <= r.off_corridor);
+        if r.off_corridor > 10 {
+            assert!(
+                r.pipeline_explained > 0,
+                "expected some pipeline-explained conduits"
+            );
+        }
+    }
+}

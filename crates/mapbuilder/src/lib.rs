@@ -1,0 +1,30 @@
+//! Long-haul fiber-map construction (the paper's §2 and §3).
+//!
+//! Consumes only *public* artifacts — provider-published maps, the public
+//! records corpus, a city gazetteer and transportation layers — and
+//! reconstructs the US long-haul map: nodes, conduits, tenants, validation
+//! status, and right-of-way attribution. The four-step pipeline mirrors the
+//! paper exactly; see [`pipeline::build_map`].
+//!
+//! Also provides the §3 co-location analysis (`colocation`), map
+//! summaries / Table 1 extraction and GeoJSON export (`stats`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annotate;
+mod cluster;
+mod colocation;
+mod model;
+mod pipeline;
+mod stats;
+
+pub use annotate::{to_annotated_geojson, MapAnnotations};
+pub use cluster::{geometry_separation_km, same_conduit};
+pub use colocation::{analyze_colocation, corridor_index, ColocationHistogram, ColocationReport};
+pub use model::{
+    FiberMap, LongHaulPolicy, MapConduit, MapConduitId, MapNode, MapNodeId, Provenance, Tenancy,
+    TenancySource,
+};
+pub use pipeline::{build_map, BuiltMap, PipelineConfig, StepReport};
+pub use stats::{summarize, table1_rows, to_geojson, MapSummary, ProviderRow};

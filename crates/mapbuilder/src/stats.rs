@@ -1,0 +1,199 @@
+//! Map summaries (Fig. 1 features, Table 1 rows) and GeoJSON export.
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use crate::model::{FiberMap, Provenance};
+
+/// A Table 1 row: per-provider node and link counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderRow {
+    /// Provider name.
+    pub isp: String,
+    /// Distinct endpoint cities in the provider's links.
+    pub nodes: usize,
+    /// Long-haul links (conduit tenancies).
+    pub links: usize,
+}
+
+/// Headline statistics of a constructed map (the §2.5 summary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapSummary {
+    /// Node count.
+    pub nodes: usize,
+    /// Link (tenancy) count.
+    pub links: usize,
+    /// Conduit count.
+    pub conduits: usize,
+    /// Conduits with documentary validation.
+    pub validated_conduits: usize,
+    /// Conduits introduced by step 1 vs step 3.
+    pub step1_conduits: usize,
+    /// Conduits introduced by step 3 (ROW-snapped).
+    pub step3_conduits: usize,
+    /// Top long-haul hubs: `(label, conduit degree)`, descending.
+    pub hubs: Vec<(String, usize)>,
+    /// Total conduit mileage, km.
+    pub total_km: f64,
+}
+
+/// Summarizes a constructed map.
+pub fn summarize(map: &FiberMap) -> MapSummary {
+    let mut degree = vec![0usize; map.nodes.len()];
+    let mut total_km = 0.0;
+    let mut step1 = 0;
+    let mut step3 = 0;
+    for c in &map.conduits {
+        degree[c.a.index()] += 1;
+        degree[c.b.index()] += 1;
+        total_km += c.geometry.length_km();
+        match c.provenance {
+            Provenance::Step1 => step1 += 1,
+            Provenance::Step3 => step3 += 1,
+        }
+    }
+    let mut hubs: Vec<(String, usize)> = map
+        .nodes
+        .iter()
+        .zip(degree.iter())
+        .map(|(n, &d)| (n.label.clone(), d))
+        .collect();
+    hubs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hubs.truncate(10);
+    MapSummary {
+        nodes: map.nodes.len(),
+        links: map.link_count(),
+        conduits: map.conduits.len(),
+        validated_conduits: map.conduits.iter().filter(|c| c.validated).count(),
+        step1_conduits: step1,
+        step3_conduits: step3,
+        hubs,
+        total_km,
+    }
+}
+
+/// Produces Table 1 rows for the named providers, in the given order.
+pub fn table1_rows(map: &FiberMap, isps: &[&str]) -> Vec<ProviderRow> {
+    isps.iter()
+        .map(|isp| {
+            let (nodes, links) = map.provider_counts(isp);
+            ProviderRow {
+                isp: isp.to_string(),
+                nodes,
+                links,
+            }
+        })
+        .collect()
+}
+
+/// Exports the map as a GeoJSON `FeatureCollection`: one `LineString` per
+/// conduit (with tenants/validation properties) and one `Point` per node.
+pub fn to_geojson(map: &FiberMap) -> Value {
+    let mut features = Vec::new();
+    for n in &map.nodes {
+        features.push(json!({
+            "type": "Feature",
+            "geometry": {
+                "type": "Point",
+                "coordinates": [n.location.lon, n.location.lat],
+            },
+            "properties": { "label": n.label, "kind": "city" },
+        }));
+    }
+    for (i, c) in map.conduits.iter().enumerate() {
+        let coords: Vec<[f64; 2]> = c.geometry.points().iter().map(|p| [p.lon, p.lat]).collect();
+        let tenants: Vec<&str> = c.tenants.iter().map(|t| t.isp.as_str()).collect();
+        features.push(json!({
+            "type": "Feature",
+            "geometry": { "type": "LineString", "coordinates": coords },
+            "properties": {
+                "kind": "conduit",
+                "id": i,
+                "a": map.nodes[c.a.index()].label,
+                "b": map.nodes[c.b.index()].label,
+                "tenants": tenants,
+                "tenant_count": tenants.len(),
+                "validated": c.validated,
+                "provenance": match c.provenance {
+                    Provenance::Step1 => "step1",
+                    Provenance::Step3 => "step3",
+                },
+            },
+        }));
+    }
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MapConduit, Tenancy, TenancySource};
+    use intertubes_geo::{GeoPoint, Polyline};
+
+    fn sample() -> FiberMap {
+        let mut m = FiberMap::default();
+        let a = m.ensure_node("Dallas, TX", GeoPoint::new_unchecked(32.78, -96.80));
+        let b = m.ensure_node("Houston, TX", GeoPoint::new_unchecked(29.76, -95.37));
+        m.conduits.push(MapConduit {
+            a,
+            b,
+            geometry: Polyline::straight(
+                GeoPoint::new_unchecked(32.78, -96.80),
+                GeoPoint::new_unchecked(29.76, -95.37),
+            ),
+            tenants: vec![
+                Tenancy {
+                    isp: "AT&T".into(),
+                    source: TenancySource::PublishedMap,
+                },
+                Tenancy {
+                    isp: "Sprint".into(),
+                    source: TenancySource::Records,
+                },
+            ],
+            provenance: Provenance::Step1,
+            validated: true,
+            row: None,
+        });
+        m
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summarize(&sample());
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.links, 2);
+        assert_eq!(s.conduits, 1);
+        assert_eq!(s.validated_conduits, 1);
+        assert_eq!(s.step1_conduits, 1);
+        assert_eq!(s.step3_conduits, 0);
+        assert!(s.total_km > 300.0 && s.total_km < 450.0);
+        assert_eq!(s.hubs[0].1, 1);
+    }
+
+    #[test]
+    fn table1_row_extraction() {
+        let rows = table1_rows(&sample(), &["AT&T", "Nobody"]);
+        assert_eq!(rows[0].nodes, 2);
+        assert_eq!(rows[0].links, 1);
+        assert_eq!(rows[1].nodes, 0);
+        assert_eq!(rows[1].links, 0);
+    }
+
+    #[test]
+    fn geojson_is_well_formed() {
+        let gj = to_geojson(&sample());
+        assert_eq!(gj["type"], "FeatureCollection");
+        let feats = gj["features"].as_array().unwrap();
+        assert_eq!(feats.len(), 3); // 2 points + 1 line
+        let line = feats
+            .iter()
+            .find(|f| f["geometry"]["type"] == "LineString")
+            .unwrap();
+        assert_eq!(line["properties"]["tenant_count"], 2);
+        assert_eq!(line["properties"]["validated"], true);
+        // Coordinates are [lon, lat] per the GeoJSON spec.
+        let c0 = &line["geometry"]["coordinates"][0];
+        assert!(c0[0].as_f64().unwrap() < -90.0, "lon first");
+    }
+}

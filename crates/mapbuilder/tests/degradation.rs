@@ -1,0 +1,210 @@
+//! Failure injection: how gracefully does map construction degrade as its
+//! inputs get worse? The paper stresses its map is "not complete"; these
+//! tests pin the *relationship* between input quality and output quality.
+
+use intertubes_atlas::World;
+use intertubes_map::{build_map, BuiltMap, PipelineConfig};
+use intertubes_records::{generate_corpus, Corpus, CorpusConfig};
+
+fn build_with(world: &World, corpus: &Corpus, cfg: &PipelineConfig) -> BuiltMap {
+    build_map(
+        &world.publish_maps(),
+        corpus,
+        &world.cities,
+        &world.roads,
+        &world.rails,
+        cfg,
+    )
+}
+
+#[test]
+fn validation_tracks_corpus_coverage() {
+    let world = World::reference();
+    let mut fractions = Vec::new();
+    for coverage in [0.0, 0.4, 0.92] {
+        let corpus = generate_corpus(
+            &world,
+            &CorpusConfig {
+                conduit_coverage: coverage,
+                ..CorpusConfig::default()
+            },
+        );
+        let built = build_with(&world, &corpus, &PipelineConfig::default());
+        let validated = built.map.conduits.iter().filter(|c| c.validated).count() as f64;
+        fractions.push(validated / built.map.conduits.len() as f64);
+    }
+    assert!(
+        fractions[0] < 0.05,
+        "no records → (almost) no validation: {}",
+        fractions[0]
+    );
+    assert!(
+        fractions[0] < fractions[1] && fractions[1] < fractions[2],
+        "validation must track coverage: {fractions:?}"
+    );
+    assert!(fractions[2] > 0.8);
+}
+
+#[test]
+fn empty_corpus_still_builds_a_structurally_sound_map() {
+    let world = World::reference();
+    let corpus = Corpus::from_documents(vec![]);
+    let built = build_with(&world, &corpus, &PipelineConfig::default());
+    // Published maps alone still yield the full topology…
+    assert!(built.map.conduits.len() > 450);
+    assert!(built.map.link_count() > 2_000);
+    // …but nothing is validated and no tenants are record-inferred.
+    assert!(built.map.conduits.iter().all(|c| !c.validated));
+    assert!(built
+        .map
+        .conduits
+        .iter()
+        .flat_map(|c| c.tenants.iter())
+        .all(|t| t.source == intertubes_map::TenancySource::PublishedMap));
+}
+
+#[test]
+fn cluster_threshold_controls_conduit_merging() {
+    let world = World::reference();
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    // Tiny threshold: digitization noise defeats clustering → more conduits.
+    let strict = build_with(
+        &world,
+        &corpus,
+        &PipelineConfig {
+            cluster_km: 0.05,
+            ..PipelineConfig::default()
+        },
+    );
+    // Generous threshold: parallel trenches get merged → fewer conduits.
+    let sloppy = build_with(
+        &world,
+        &corpus,
+        &PipelineConfig {
+            cluster_km: 50.0,
+            ..PipelineConfig::default()
+        },
+    );
+    let reference = build_with(&world, &corpus, &PipelineConfig::default());
+    assert!(
+        strict.map.conduits.len() > reference.map.conduits.len(),
+        "strict {} vs reference {}",
+        strict.map.conduits.len(),
+        reference.map.conduits.len()
+    );
+    assert!(
+        sloppy.map.conduits.len() < reference.map.conduits.len(),
+        "sloppy {} vs reference {}",
+        sloppy.map.conduits.len(),
+        reference.map.conduits.len()
+    );
+    // Whatever the threshold, total tenancies from published maps are
+    // conserved within the dedup semantics.
+    assert!(sloppy.map.link_count() <= strict.map.link_count());
+}
+
+#[test]
+fn noisy_corpus_does_not_poison_tenancy_precision() {
+    use std::collections::HashSet;
+    let world = World::reference();
+    // Crank mis-attribution to 25 % and noise documents to 40 per 100.
+    let corpus = generate_corpus(
+        &world,
+        &CorpusConfig {
+            misattribution_rate: 0.25,
+            noise_per_100: 40,
+            ..CorpusConfig::default()
+        },
+    );
+    let built = build_with(&world, &corpus, &PipelineConfig::default());
+    let mut truth: HashSet<(String, String, String)> = HashSet::new();
+    for (i, fp) in world.mapped_footprints().iter().enumerate() {
+        let isp = world.roster[i].name.clone();
+        for c in &fp.conduits {
+            let cd = world.system.conduit(*c);
+            let (a, b) = (world.city_label(cd.a), world.city_label(cd.b));
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            truth.insert((isp.clone(), a, b));
+        }
+    }
+    let mut found = 0usize;
+    let mut correct = 0usize;
+    for c in &built.map.conduits {
+        let a = built.map.nodes[c.a.index()].label.clone();
+        let b = built.map.nodes[c.b.index()].label.clone();
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        for t in &c.tenants {
+            found += 1;
+            correct += truth.contains(&(t.isp.clone(), a.clone(), b.clone())) as usize;
+        }
+    }
+    let precision = correct as f64 / found as f64;
+    // The two-document confidence threshold absorbs most one-off lies.
+    assert!(precision > 0.85, "precision under heavy noise: {precision}");
+}
+
+#[test]
+fn long_haul_policy_filters_final_map() {
+    let world = World::reference();
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    // Draconian policy: nothing qualifies → empty final map.
+    let cfg = PipelineConfig {
+        policy: intertubes_map::LongHaulPolicy {
+            min_miles: 1e9,
+            min_population: u32::MAX,
+            min_providers: usize::MAX,
+        },
+        ..PipelineConfig::default()
+    };
+    let built = build_with(&world, &corpus, &cfg);
+    assert_eq!(
+        built.map.conduits.len(),
+        0,
+        "draconian policy must drop everything"
+    );
+    assert!(
+        built.reports[2].conduits > 400,
+        "step 3 still saw the full map"
+    );
+    // The paper's actual thresholds drop nothing in a long-haul-only world.
+    let built = build_with(&world, &corpus, &PipelineConfig::default());
+    assert!(built.map.conduits.len() > 450);
+}
+
+#[test]
+fn pipeline_without_transport_layers_still_places_pop_links() {
+    // Degenerate transport nets (empty graphs) force step 3 onto the
+    // straight-line fallback; the pipeline must not panic and the POP-only
+    // tenancies must still land.
+    use intertubes_atlas::TransportNetwork;
+    use intertubes_geo::CorridorLayer;
+    let world = World::reference();
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    let empty_road = TransportNetwork {
+        layer: CorridorLayer::Road,
+        graph: {
+            let mut g = intertubes_graph::MultiGraph::new();
+            for i in 0..world.cities.len() {
+                g.add_node(intertubes_atlas::CityId(i as u32));
+            }
+            g
+        },
+    };
+    let empty_rail = TransportNetwork {
+        layer: CorridorLayer::Rail,
+        graph: empty_road.graph.clone(),
+    };
+    let built = build_map(
+        &world.publish_maps(),
+        &corpus,
+        &world.cities,
+        &empty_road,
+        &empty_rail,
+        &PipelineConfig::default(),
+    );
+    assert!(
+        built.map.link_count() > 2_000,
+        "links {}",
+        built.map.link_count()
+    );
+}

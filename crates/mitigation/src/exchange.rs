@@ -1,0 +1,201 @@
+//! The "link exchange" model (§6.3).
+//!
+//! The paper proposes adapting the Internet-exchange-point model to
+//! conduits: a consortium of providers jointly funds a strategically-placed
+//! new trench, the way IXPs grew out of consortia keeping local traffic
+//! local — possibly with government support given the shared-risk
+//! externality. This module quantifies that proposal: for each conduit the
+//! eq.-2 framework would add, it computes the cost per participant as the
+//! consortium grows, the per-participant risk benefit, and the break-even
+//! consortium size — with and without a public subsidy.
+
+use intertubes_risk::RiskMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::augmentation::AugmentationReport;
+
+/// Economic parameters of the exchange model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeConfig {
+    /// Trenching + conduit cost per km (abstract cost units; long-haul
+    /// builds run $30k–$100k per mile in the period literature).
+    pub cost_per_km: f64,
+    /// Value a provider assigns to reducing its worst-case co-tenancy by
+    /// one provider on one conduit (same cost units).
+    pub value_per_srr_unit: f64,
+    /// Fraction of the build publicly subsidised (the paper floats
+    /// government support for critical-infrastructure hardening).
+    pub subsidy: f64,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            cost_per_km: 25_000.0,
+            value_per_srr_unit: 150_000.0,
+            subsidy: 0.0,
+        }
+    }
+}
+
+/// The exchange analysis for one candidate conduit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeOffer {
+    /// Endpoint labels.
+    pub a: String,
+    /// Endpoint labels.
+    pub b: String,
+    /// Build length along the right-of-way, km.
+    pub row_km: f64,
+    /// Total build cost after subsidy.
+    pub total_cost: f64,
+    /// Providers eligible to join (current tenants of the relieved conduit).
+    pub eligible: usize,
+    /// Per-participant benefit under the config's valuation.
+    pub per_member_benefit: f64,
+    /// Minimum consortium size at which per-member cost ≤ per-member
+    /// benefit (`None` if even the full consortium cannot break even).
+    pub break_even_members: Option<usize>,
+}
+
+/// The full §6.3 analysis over an augmentation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExchangeReport {
+    /// Parameters used.
+    pub config: ExchangeConfig,
+    /// Offers, in the augmentation's greedy order.
+    pub offers: Vec<ExchangeOffer>,
+}
+
+/// Evaluates the consortium economics of each augmentation addition.
+pub fn exchange_analysis(
+    rm: &RiskMatrix,
+    augmentation: &AugmentationReport,
+    cfg: &ExchangeConfig,
+) -> ExchangeReport {
+    let mut offers = Vec::with_capacity(augmentation.added.len());
+    for add in &augmentation.added {
+        let relieved = add.parallels.index();
+        let eligible = rm.shared[relieved] as usize;
+        let total_cost = add.row_km * cfg.cost_per_km * (1.0 - cfg.subsidy).max(0.0);
+        // A participant who moves to the new trench halves its co-tenancy
+        // on this link (the eq.-2 split model).
+        let srr_per_member = rm.shared[relieved] as f64 / 2.0;
+        let per_member_benefit = srr_per_member * cfg.value_per_srr_unit;
+        let break_even_members = if per_member_benefit <= 0.0 {
+            None
+        } else {
+            let need = (total_cost / per_member_benefit).ceil() as usize;
+            (need <= eligible).then_some(need.max(1))
+        };
+        offers.push(ExchangeOffer {
+            a: add.a.clone(),
+            b: add.b.clone(),
+            row_km: add.row_km,
+            total_cost,
+            eligible,
+            per_member_benefit,
+            break_even_members,
+        });
+    }
+    ExchangeReport {
+        config: *cfg,
+        offers,
+    }
+}
+
+impl ExchangeReport {
+    /// Offers that close at some consortium size.
+    pub fn viable(&self) -> impl Iterator<Item = &ExchangeOffer> {
+        self.offers
+            .iter()
+            .filter(|o| o.break_even_members.is_some())
+    }
+
+    /// The subsidy fraction required to make `offer` viable at consortium
+    /// size `members`.
+    pub fn required_subsidy(offer: &ExchangeOffer, members: usize, cfg: &ExchangeConfig) -> f64 {
+        if members == 0 {
+            return 1.0;
+        }
+        let gross = offer.row_km * cfg.cost_per_km;
+        let affordable = offer.per_member_benefit * members as f64;
+        ((gross - affordable) / gross).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augmentation::AddedConduit;
+    use intertubes_map::MapConduitId;
+
+    fn rm_with_shared(shared: Vec<u16>) -> RiskMatrix {
+        // Build a matrix hull directly: empty uses, given shares.
+        RiskMatrix {
+            isps: vec!["A".into(), "B".into()],
+            uses: vec![vec![false; shared.len()]; 2],
+            shared,
+        }
+    }
+
+    fn aug(row_km: f64, conduit: usize) -> AugmentationReport {
+        AugmentationReport {
+            added: vec![AddedConduit {
+                parallels: MapConduitId(conduit as u32),
+                a: "X, XX".into(),
+                b: "Y, YY".into(),
+                row_km,
+                srr: 10.0,
+            }],
+            isps: vec!["A".into(), "B".into()],
+            improvement: vec![vec![0.1], vec![0.0]],
+        }
+    }
+
+    #[test]
+    fn cheap_build_with_many_tenants_breaks_even_quickly() {
+        let rm = rm_with_shared(vec![18]);
+        // 100 km at 25k/km = 2.5 M; per-member benefit = 9 × 150k = 1.35 M.
+        let report = exchange_analysis(&rm, &aug(100.0, 0), &ExchangeConfig::default());
+        let o = &report.offers[0];
+        assert_eq!(o.eligible, 18);
+        assert_eq!(o.break_even_members, Some(2));
+        assert!(report.viable().count() == 1);
+    }
+
+    #[test]
+    fn expensive_build_needs_subsidy() {
+        let rm = rm_with_shared(vec![4]);
+        // 2000 km at 25k = 50 M; benefit/member = 2 × 150k = 300k; even 4
+        // members cover 1.2 M — not viable unsubsidised.
+        let cfg = ExchangeConfig::default();
+        let report = exchange_analysis(&rm, &aug(2000.0, 0), &cfg);
+        let o = &report.offers[0];
+        assert_eq!(o.break_even_members, None);
+        let subsidy = ExchangeReport::required_subsidy(o, 4, &cfg);
+        assert!(subsidy > 0.9, "needs near-total subsidy, got {subsidy}");
+    }
+
+    #[test]
+    fn full_subsidy_makes_everything_viable() {
+        let rm = rm_with_shared(vec![4]);
+        let cfg = ExchangeConfig {
+            subsidy: 1.0,
+            ..ExchangeConfig::default()
+        };
+        let report = exchange_analysis(&rm, &aug(2000.0, 0), &cfg);
+        assert_eq!(report.offers[0].break_even_members, Some(1));
+        assert_eq!(report.offers[0].total_cost, 0.0);
+    }
+
+    #[test]
+    fn required_subsidy_is_bounded() {
+        let rm = rm_with_shared(vec![18]);
+        let cfg = ExchangeConfig::default();
+        let report = exchange_analysis(&rm, &aug(100.0, 0), &cfg);
+        let o = &report.offers[0];
+        assert_eq!(ExchangeReport::required_subsidy(o, 0, &cfg), 1.0);
+        assert_eq!(ExchangeReport::required_subsidy(o, 18, &cfg), 0.0);
+    }
+}

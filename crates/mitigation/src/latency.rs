@@ -1,0 +1,287 @@
+//! Propagation-delay analysis (§5.3, Fig. 12).
+//!
+//! For every city pair joined by at least one conduit, four one-way delays
+//! are compared:
+//!
+//! * **best existing path** — the minimum-delay route over deployed
+//!   conduits (usually, but not always, the direct trench);
+//! * **average of existing paths** — the mean over the k cheapest loopless
+//!   conduit routes (parallel trenches and detours included);
+//! * **best ROW path** — the cheapest route over road/rail rights-of-way,
+//!   whether or not fiber is deployed there (what a new build could achieve
+//!   without line-of-sight trenching);
+//! * **LOS** — the great-circle lower bound.
+//!
+//! Delays use the fiber propagation constant (≈ 4.9 µs/km; the paper's
+//! "100 µs ≈ 20 km").
+
+use intertubes_atlas::{City, TransportNetwork};
+use intertubes_geo::fiber_delay_us;
+use intertubes_graph::{dijkstra, yen_k_shortest, EdgeId, MultiGraph, NodeId};
+use intertubes_map::FiberMap;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the latency study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// How many loopless alternate paths feed the "average of existing
+    /// paths" series.
+    pub k_paths: usize,
+    /// Alternate paths longer than this multiple of the best are not
+    /// "paths between the two cities" in any practical sense and are
+    /// excluded from the average.
+    pub detour_cap: f64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            k_paths: 4,
+            detour_cap: 3.0,
+        }
+    }
+}
+
+/// Delay comparison for one conduit-joined city pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairLatency {
+    /// Endpoint label.
+    pub a: String,
+    /// Endpoint label.
+    pub b: String,
+    /// Best existing-conduit delay, µs.
+    pub best_us: f64,
+    /// Mean delay across existing paths, µs.
+    pub avg_us: f64,
+    /// Best right-of-way delay, µs.
+    pub row_us: f64,
+    /// Line-of-sight lower bound, µs.
+    pub los_us: f64,
+}
+
+/// The full §5.3 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Per-pair comparisons.
+    pub pairs: Vec<PairLatency>,
+    /// Fraction of pairs whose best existing path is also the best ROW path
+    /// (within 1 %; paper: "about 65 % of the best paths are also the best
+    /// ROW paths").
+    pub best_equals_row_fraction: f64,
+}
+
+/// Builds a combined road ∪ rail right-of-way graph over the gazetteer.
+fn row_graph(
+    cities: &[City],
+    roads: &TransportNetwork,
+    rails: &TransportNetwork,
+) -> MultiGraph<(), f64> {
+    let mut g: MultiGraph<(), f64> = MultiGraph::with_capacity(cities.len(), 0);
+    for _ in 0..cities.len() {
+        g.add_node(());
+    }
+    for net in [roads, rails] {
+        for e in net.graph.edge_refs() {
+            g.add_edge(e.u, e.v, e.data.length_km);
+        }
+    }
+    g
+}
+
+/// Runs the latency study over every conduit-joined city pair in the map.
+pub fn latency_study(
+    map: &FiberMap,
+    cities: &[City],
+    roads: &TransportNetwork,
+    rails: &TransportNetwork,
+    cfg: &LatencyConfig,
+) -> LatencyReport {
+    let graph = map.graph();
+    let km = |e: EdgeId| map.conduits[graph.edge(e).index()].geometry.length_km();
+    let row = row_graph(cities, roads, rails);
+    let city_index = |label: &str| cities.iter().position(|c| c.label() == label);
+
+    // Conduit-joined pairs, deduplicated.
+    let mut pairs: Vec<(u32, u32)> = map
+        .conduits
+        .iter()
+        .map(|c| (c.a.0.min(c.b.0), c.a.0.max(c.b.0)))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut agree = 0usize;
+    for (a, b) in pairs {
+        let (na, nb) = (NodeId(a), NodeId(b));
+        let node_a = &map.nodes[a as usize];
+        let node_b = &map.nodes[b as usize];
+        // Existing paths: k cheapest loopless conduit routes.
+        let paths =
+            yen_k_shortest(&graph, na, nb, cfg.k_paths, km).expect("km cost is non-negative");
+        let Some(best) = paths.first() else { continue };
+        let best_km = best.cost;
+        let capped: Vec<f64> = paths
+            .iter()
+            .map(|p| p.cost)
+            .filter(|c| *c <= best_km * cfg.detour_cap)
+            .collect();
+        let avg_km = capped.iter().sum::<f64>() / capped.len() as f64;
+        // Best ROW path (over the gazetteer's road/rail graph).
+        let los_km = node_a.location.distance_km(&node_b.location);
+        let row_km = match (city_index(&node_a.label), city_index(&node_b.label)) {
+            (Some(ia), Some(ib)) => {
+                match dijkstra(&row, NodeId(ia as u32), NodeId(ib as u32), |e| *row.edge(e))
+                    .expect("length cost is non-negative")
+                {
+                    Some(p) => p.cost,
+                    None => los_km,
+                }
+            }
+            _ => los_km,
+        };
+        if (best_km - row_km).abs() <= 0.01 * row_km.max(1e-9) || best_km <= row_km {
+            agree += 1;
+        }
+        out.push(PairLatency {
+            a: node_a.label.clone(),
+            b: node_b.label.clone(),
+            best_us: fiber_delay_us(best_km),
+            avg_us: fiber_delay_us(avg_km),
+            row_us: fiber_delay_us(row_km),
+            los_us: fiber_delay_us(los_km),
+        });
+    }
+    let frac = agree as f64 / out.len().max(1) as f64;
+    LatencyReport {
+        pairs: out,
+        best_equals_row_fraction: frac,
+    }
+}
+
+impl LatencyReport {
+    /// Sorted delays (ms) for one series — CDF inputs for Fig. 12.
+    pub fn series_ms(&self, pick: impl Fn(&PairLatency) -> f64) -> Vec<f64> {
+        let mut v: Vec<f64> = self.pairs.iter().map(|p| pick(p) / 1000.0).collect();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+
+    /// Quantile of the LOS–ROW delay gap in µs (paper: < 100 µs for 50 % of
+    /// pairs, > 500 µs for 25 %).
+    pub fn los_row_gap_quantile(&self, q: f64) -> f64 {
+        let mut gaps: Vec<f64> = self
+            .pairs
+            .iter()
+            .map(|p| (p.row_us - p.los_us).max(0.0))
+            .collect();
+        gaps.sort_by(|a, b| a.total_cmp(b));
+        if gaps.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * (gaps.len() - 1) as f64).round() as usize).min(gaps.len() - 1);
+        gaps[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intertubes_atlas::World;
+    use intertubes_map::{build_map, PipelineConfig};
+    use intertubes_records::{generate_corpus, CorpusConfig};
+
+    fn report() -> LatencyReport {
+        let w = World::reference();
+        let corpus = generate_corpus(&w, &CorpusConfig::default());
+        let built = build_map(
+            &w.publish_maps(),
+            &corpus,
+            &w.cities,
+            &w.roads,
+            &w.rails,
+            &PipelineConfig::default(),
+        );
+        latency_study(
+            &built.map,
+            &w.cities,
+            &w.roads,
+            &w.rails,
+            &LatencyConfig::default(),
+        )
+    }
+
+    #[test]
+    fn ordering_invariants_hold() {
+        let r = report();
+        assert!(r.pairs.len() > 200, "pairs: {}", r.pairs.len());
+        for p in &r.pairs {
+            // LOS is the absolute lower bound.
+            assert!(
+                p.los_us <= p.row_us + 1e-6,
+                "{} - {}: row below LOS",
+                p.a,
+                p.b
+            );
+            assert!(
+                p.los_us <= p.best_us + 1e-6,
+                "{} - {}: best below LOS",
+                p.a,
+                p.b
+            );
+            // The average over paths can't beat the best path.
+            assert!(p.best_us <= p.avg_us + 1e-6, "{} - {}", p.a, p.b);
+            // All delays are in a sane range for adjacent long-haul pairs.
+            assert!(p.best_us > 0.0 && p.best_us < 40_000.0);
+        }
+    }
+
+    #[test]
+    fn avg_exceeds_best_substantially_somewhere() {
+        let r = report();
+        // Paper: "average delays ... often substantially higher than the
+        // best existing link".
+        let frac_worse = r
+            .pairs
+            .iter()
+            .filter(|p| p.avg_us > p.best_us * 1.25)
+            .count() as f64
+            / r.pairs.len() as f64;
+        assert!(
+            frac_worse > 0.2,
+            "only {frac_worse:.2} of pairs show real detours"
+        );
+    }
+
+    #[test]
+    fn best_equals_row_for_majority() {
+        let r = report();
+        // Paper: ~65 %. Window: 45–95 %.
+        assert!(
+            (0.45..=0.95).contains(&r.best_equals_row_fraction),
+            "best==ROW fraction {}",
+            r.best_equals_row_fraction
+        );
+    }
+
+    #[test]
+    fn los_row_gap_has_heavy_tail() {
+        let r = report();
+        let median = r.los_row_gap_quantile(0.5);
+        let p75 = r.los_row_gap_quantile(0.75);
+        assert!(median < p75 || p75 == 0.0);
+        assert!(median < 500.0, "median LOS-ROW gap {median} µs too large");
+    }
+
+    #[test]
+    fn series_are_sorted_ms() {
+        let r = report();
+        let s = r.series_ms(|p| p.best_us);
+        for w in s.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Fig. 12's x-range: mostly below ~4 ms for adjacent pairs.
+        let idx = (s.len() as f64 * 0.9) as usize;
+        assert!(s[idx] < 10.0, "90th percentile best delay {} ms", s[idx]);
+    }
+}

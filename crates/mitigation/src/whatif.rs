@@ -1,0 +1,191 @@
+//! What-if analysis: apply a mitigation plan to the constructed map and
+//! re-run the §4 risk assessment on the upgraded infrastructure — closing
+//! the loop the paper leaves open between §5's proposals and §4's metrics.
+
+use intertubes_map::{FiberMap, MapConduit, Provenance, Tenancy, TenancySource};
+use intertubes_risk::RiskMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::augmentation::AugmentationReport;
+
+/// Before/after comparison of the §4.2 headline metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfReport {
+    /// Conduits added by the plan.
+    pub conduits_added: usize,
+    /// Fraction of conduits shared by ≥ 4 providers, before.
+    pub ge4_before: f64,
+    /// Fraction of conduits shared by ≥ 4 providers, after.
+    pub ge4_after: f64,
+    /// Highest tenant count on any conduit, before.
+    pub max_sharing_before: u16,
+    /// Highest tenant count on any conduit, after.
+    pub max_sharing_after: u16,
+    /// Mean per-provider average shared risk, before.
+    pub mean_avg_risk_before: f64,
+    /// Mean per-provider average shared risk, after.
+    pub mean_avg_risk_after: f64,
+}
+
+/// Materializes an augmentation plan: clones the map, adds each new conduit
+/// as a parallel trench, and moves half of the relieved conduit's tenants
+/// (alphabetically — deterministic) into it.
+pub fn apply_augmentation(map: &FiberMap, plan: &AugmentationReport) -> FiberMap {
+    let mut out = map.clone();
+    for add in &plan.added {
+        let src_idx = add.parallels.index();
+        let (a, b, geometry) = {
+            let src = &out.conduits[src_idx];
+            (src.a, src.b, src.geometry.offset_parallel(7.0))
+        };
+        // Split tenants: movers take the new trench.
+        let tenants = out.conduits[src_idx].tenants.clone();
+        let half = tenants.len() / 2;
+        let (stay, go) = tenants.split_at(tenants.len() - half);
+        out.conduits[src_idx].tenants = stay.to_vec();
+        out.conduits.push(MapConduit {
+            a,
+            b,
+            geometry,
+            tenants: go
+                .iter()
+                .map(|t| Tenancy {
+                    isp: t.isp.clone(),
+                    source: TenancySource::PublishedMap,
+                })
+                .collect(),
+            provenance: Provenance::Step3,
+            validated: false,
+            row: None,
+        });
+    }
+    out
+}
+
+fn mean_avg_risk(rm: &RiskMatrix) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for i in 0..rm.isp_count() {
+        let cs = rm.conduits_of(i);
+        if cs.is_empty() {
+            continue;
+        }
+        total += cs.iter().map(|&c| rm.shared[c] as f64).sum::<f64>() / cs.len() as f64;
+        n += 1;
+    }
+    total / n.max(1) as f64
+}
+
+/// Runs the before/after comparison for an augmentation plan.
+pub fn what_if(map: &FiberMap, isps: &[String], plan: &AugmentationReport) -> WhatIfReport {
+    let before = RiskMatrix::build(map, isps);
+    let upgraded = apply_augmentation(map, plan);
+    let after = RiskMatrix::build(&upgraded, isps);
+    let frac_ge4 = |rm: &RiskMatrix| {
+        rm.shared.iter().filter(|&&s| s >= 4).count() as f64 / rm.conduit_count() as f64
+    };
+    WhatIfReport {
+        conduits_added: plan.added.len(),
+        ge4_before: frac_ge4(&before),
+        ge4_after: frac_ge4(&after),
+        max_sharing_before: before.shared.iter().copied().max().unwrap_or(0),
+        max_sharing_after: after.shared.iter().copied().max().unwrap_or(0),
+        mean_avg_risk_before: mean_avg_risk(&before),
+        mean_avg_risk_after: mean_avg_risk(&after),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augmentation::AddedConduit;
+    use intertubes_geo::{GeoPoint, Polyline};
+    use intertubes_map::MapConduitId;
+
+    fn toy_map() -> FiberMap {
+        let mut m = FiberMap::default();
+        let a = m.ensure_node("A, XX", GeoPoint::new_unchecked(40.0, -100.0));
+        let b = m.ensure_node("B, XX", GeoPoint::new_unchecked(40.0, -98.0));
+        let t = |isp: &str| Tenancy {
+            isp: isp.into(),
+            source: TenancySource::PublishedMap,
+        };
+        m.conduits.push(MapConduit {
+            a,
+            b,
+            geometry: Polyline::straight(
+                GeoPoint::new_unchecked(40.0, -100.0),
+                GeoPoint::new_unchecked(40.0, -98.0),
+            )
+            .densify(40.0)
+            .unwrap(),
+            tenants: vec![t("W"), t("X"), t("Y"), t("Z")],
+            provenance: Provenance::Step1,
+            validated: true,
+            row: None,
+        });
+        m
+    }
+
+    fn plan() -> AugmentationReport {
+        AugmentationReport {
+            added: vec![AddedConduit {
+                parallels: MapConduitId(0),
+                a: "A, XX".into(),
+                b: "B, XX".into(),
+                row_km: 180.0,
+                srr: 8.0,
+            }],
+            isps: vec!["W".into(), "X".into(), "Y".into(), "Z".into()],
+            improvement: vec![vec![0.5]; 4],
+        }
+    }
+
+    #[test]
+    fn applying_plan_splits_tenants() {
+        let m = toy_map();
+        let upgraded = apply_augmentation(&m, &plan());
+        assert_eq!(upgraded.conduits.len(), 2);
+        assert_eq!(upgraded.conduits[0].tenant_count(), 2);
+        assert_eq!(upgraded.conduits[1].tenant_count(), 2);
+        // No tenancy lost or duplicated.
+        assert_eq!(upgraded.link_count(), m.link_count());
+        // The new trench is geographically parallel, not identical.
+        let sep = midpoint_separation(&upgraded);
+        assert!(sep > 2.0, "parallel trench separation {sep} km");
+    }
+
+    /// Separation between the midpoints of the toy map's two conduits.
+    fn midpoint_separation(m: &FiberMap) -> f64 {
+        let p1 = m.conduits[0].geometry.point_at_fraction(0.5);
+        let p2 = m.conduits[1].geometry.point_at_fraction(0.5);
+        p1.distance_km(&p2)
+    }
+
+    #[test]
+    fn what_if_reduces_max_sharing() {
+        let m = toy_map();
+        let isps: Vec<String> = ["W", "X", "Y", "Z"].iter().map(|s| s.to_string()).collect();
+        let report = what_if(&m, &isps, &plan());
+        assert_eq!(report.conduits_added, 1);
+        assert_eq!(report.max_sharing_before, 4);
+        assert_eq!(report.max_sharing_after, 2);
+        assert!(report.mean_avg_risk_after < report.mean_avg_risk_before);
+        assert!(report.ge4_after < report.ge4_before);
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let m = toy_map();
+        let isps: Vec<String> = ["W", "X"].iter().map(|s| s.to_string()).collect();
+        let empty = AugmentationReport {
+            added: vec![],
+            isps: isps.clone(),
+            improvement: vec![vec![], vec![]],
+        };
+        let report = what_if(&m, &isps, &empty);
+        assert_eq!(report.conduits_added, 0);
+        assert_eq!(report.max_sharing_before, report.max_sharing_after);
+        assert_eq!(report.mean_avg_risk_before, report.mean_avg_risk_after);
+    }
+}

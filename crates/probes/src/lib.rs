@@ -1,0 +1,18 @@
+//! Synthetic traceroute campaigns and physical-map overlay (§4.3).
+//!
+//! The paper infers relative traffic volumes from route popularity in a
+//! 4.9 M-probe Edgescope traceroute data set, overlaying layer-3 paths onto
+//! the constructed physical map via geolocation and DNS naming hints. This
+//! crate simulates the campaign (with MPLS-tunnel opacity, geolocation
+//! failures, and partial DNS hints) over the ground-truth world, then
+//! implements the overlay against the *constructed* map — including the
+//! inference of additional carriers that publish no fiber map at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod overlay;
+
+pub use campaign::{run_campaign, Campaign, Hop, ProbeConfig, Traceroute};
+pub use overlay::{classify_direction, overlay_campaign, ConduitRow, Direction, Overlay};

@@ -1,0 +1,368 @@
+//! Overlaying observed traceroutes onto the constructed physical map
+//! (§4.3): conduit popularity as a traffic proxy, direction-classified
+//! top-conduit tables (Tables 2/3), per-provider conduit usage (Table 4),
+//! and the additional-provider inference behind Fig. 9.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use intertubes_atlas::World;
+use intertubes_geo::GeoPoint;
+use intertubes_graph::{dijkstra, EdgeId, NodeId};
+use intertubes_map::{FiberMap, MapConduitId, MapNodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::Campaign;
+
+/// Probe direction, classified from endpoint geolocations as in the paper
+/// ("classified based on geolocation information for source/destination
+/// hops").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// West-origin, east-bound (Table 2).
+    WestToEast,
+    /// East-origin, west-bound (Table 3).
+    EastToWest,
+    /// Predominantly north–south.
+    Meridional,
+}
+
+/// Classifies a probe's direction from its endpoints.
+pub fn classify_direction(src: &GeoPoint, dst: &GeoPoint) -> Direction {
+    let dlon = dst.lon - src.lon;
+    let dlat = dst.lat - src.lat;
+    if dlon.abs() < dlat.abs() {
+        Direction::Meridional
+    } else if dlon > 0.0 {
+        Direction::WestToEast
+    } else {
+        Direction::EastToWest
+    }
+}
+
+/// The overlay result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Overlay {
+    /// Total probe traversals per map conduit.
+    pub conduit_freq: Vec<u64>,
+    /// West→east traversals per conduit.
+    pub west_east: Vec<u64>,
+    /// East→west traversals per conduit.
+    pub east_west: Vec<u64>,
+    /// Providers observed (via DNS hints) crossing each conduit.
+    pub observed_isps: Vec<BTreeSet<String>>,
+    /// Conduits observed carrying each provider's traffic.
+    pub isp_conduits: BTreeMap<String, BTreeSet<u32>>,
+    /// Traces successfully overlaid.
+    pub overlaid: usize,
+    /// Traces skipped (no resolvable hop pair).
+    pub skipped: usize,
+}
+
+/// One row of a top-conduit table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConduitRow {
+    /// Endpoint label.
+    pub a: String,
+    /// Endpoint label.
+    pub b: String,
+    /// Probe count.
+    pub probes: u64,
+}
+
+impl Overlay {
+    /// The top-`n` conduits for a direction (the paper's Tables 2/3), or
+    /// overall when `direction` is `None`.
+    pub fn top_conduits(
+        &self,
+        map: &FiberMap,
+        direction: Option<Direction>,
+        n: usize,
+    ) -> Vec<ConduitRow> {
+        let freq = match direction {
+            Some(Direction::WestToEast) => &self.west_east,
+            Some(Direction::EastToWest) => &self.east_west,
+            _ => &self.conduit_freq,
+        };
+        let mut order: Vec<usize> = (0..freq.len()).collect();
+        order.sort_by(|&x, &y| freq[y].cmp(&freq[x]));
+        order
+            .into_iter()
+            .take_while(|&i| freq[i] > 0)
+            .take(n)
+            .map(|i| {
+                let c = &map.conduits[i];
+                ConduitRow {
+                    a: map.nodes[c.a.index()].label.clone(),
+                    b: map.nodes[c.b.index()].label.clone(),
+                    probes: freq[i],
+                }
+            })
+            .collect()
+    }
+
+    /// Providers ranked by number of conduits observed carrying their
+    /// traffic (Table 4).
+    pub fn isp_usage_ranking(&self) -> Vec<(String, usize)> {
+        let mut rows: Vec<(String, usize)> = self
+            .isp_conduits
+            .iter()
+            .map(|(isp, conduits)| (isp.clone(), conduits.len()))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows
+    }
+
+    /// Tenant counts per conduit: `(map_only, map_plus_observed)` — the two
+    /// CDFs of Fig. 9.
+    pub fn tenant_counts(&self, map: &FiberMap) -> Vec<(usize, usize)> {
+        map.conduits
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let base = c.tenant_count();
+                let mut all: BTreeSet<&str> = c.tenants.iter().map(|t| t.isp.as_str()).collect();
+                for isp in &self.observed_isps[i] {
+                    all.insert(isp.as_str());
+                }
+                (base, all.len())
+            })
+            .collect()
+    }
+}
+
+/// Overlays a campaign onto a constructed map.
+///
+/// Consecutive resolved hops are mapped onto map conduits: directly when the
+/// hop pair is conduit-adjacent, otherwise along the km-shortest path in the
+/// map (gaps arise from MPLS tunnels and geolocation failures).
+pub fn overlay_campaign(world: &World, map: &FiberMap, campaign: &Campaign) -> Overlay {
+    let n = map.conduits.len();
+    let graph = map.graph();
+    // Label → map node.
+    let node_of: HashMap<&str, MapNodeId> = map
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, nd)| (nd.label.as_str(), MapNodeId(i as u32)))
+        .collect();
+    // City id → map node (via label).
+    let city_to_node: Vec<Option<MapNodeId>> = world
+        .cities
+        .iter()
+        .map(|c| node_of.get(c.label().as_str()).copied())
+        .collect();
+    let km = |e: EdgeId| map.conduits[graph.edge(e).index()].geometry.length_km();
+    let mut gap_cache: HashMap<(u32, u32), Option<Vec<MapConduitId>>> = HashMap::new();
+
+    let mut conduit_freq = vec![0u64; n];
+    let mut west_east = vec![0u64; n];
+    let mut east_west = vec![0u64; n];
+    let mut observed_isps: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut isp_conduits: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+    let mut overlaid = 0usize;
+    let mut skipped = 0usize;
+
+    for t in &campaign.traces {
+        let src_loc = world.cities[t.src.index()].location;
+        let dst_loc = world.cities[t.dst.index()].location;
+        let dir = classify_direction(&src_loc, &dst_loc);
+        // Resolved hop sequence with hints.
+        let resolved: Vec<(MapNodeId, Option<&str>)> = t
+            .hops
+            .iter()
+            .filter_map(|h| {
+                let city = h.city?;
+                let node = city_to_node[city.index()]?;
+                Some((node, h.isp_hint.as_deref()))
+            })
+            .collect();
+        if resolved.len() < 2 {
+            skipped += 1;
+            continue;
+        }
+        let mut any = false;
+        for pair in resolved.windows(2) {
+            let ((u, hint_u), (v, hint_v)) = (pair[0], pair[1]);
+            if u == v {
+                continue;
+            }
+            // Conduits for this hop pair: direct conduit or map-path.
+            let conduits: Vec<MapConduitId> = {
+                let direct = map.conduits_between(u, v);
+                if !direct.is_empty() {
+                    // Prefer a conduit whose tenants include the hinted
+                    // operator; fall back to the busiest.
+                    let hinted = hint_u.or(hint_v);
+                    let chosen = hinted
+                        .and_then(|h| {
+                            direct
+                                .iter()
+                                .find(|c| map.conduits[c.index()].has_tenant(h))
+                        })
+                        .or_else(|| {
+                            direct
+                                .iter()
+                                .max_by_key(|c| map.conduits[c.index()].tenant_count())
+                        })
+                        .copied()
+                        .expect("direct is non-empty");
+                    vec![chosen]
+                } else {
+                    let key = (u.0.min(v.0), u.0.max(v.0));
+                    let path = gap_cache.entry(key).or_insert_with(|| {
+                        dijkstra(&graph, NodeId(u.0), NodeId(v.0), km)
+                            .expect("km cost is non-negative")
+                            .map(|p| p.edges.iter().map(|e| *graph.edge(*e)).collect())
+                    });
+                    match path {
+                        Some(p) => p.clone(),
+                        None => continue,
+                    }
+                }
+            };
+            for cid in conduits {
+                let i = cid.index();
+                conduit_freq[i] += 1;
+                match dir {
+                    Direction::WestToEast => west_east[i] += 1,
+                    Direction::EastToWest => east_west[i] += 1,
+                    Direction::Meridional => {}
+                }
+                for hint in [hint_u, hint_v].into_iter().flatten() {
+                    observed_isps[i].insert(hint.to_string());
+                    isp_conduits
+                        .entry(hint.to_string())
+                        .or_default()
+                        .insert(i as u32);
+                }
+                any = true;
+            }
+        }
+        if any {
+            overlaid += 1;
+        } else {
+            skipped += 1;
+        }
+    }
+    Overlay {
+        conduit_freq,
+        west_east,
+        east_west,
+        observed_isps,
+        isp_conduits,
+        overlaid,
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, ProbeConfig};
+    use intertubes_map::{build_map, PipelineConfig};
+    use intertubes_records::{generate_corpus, CorpusConfig};
+
+    fn setup() -> (World, FiberMap, Overlay) {
+        let w = World::reference();
+        let corpus = generate_corpus(&w, &CorpusConfig::default());
+        let built = build_map(
+            &w.publish_maps(),
+            &corpus,
+            &w.cities,
+            &w.roads,
+            &w.rails,
+            &PipelineConfig::default(),
+        );
+        let campaign = run_campaign(
+            &w,
+            &ProbeConfig {
+                probes: 20_000,
+                ..ProbeConfig::default()
+            },
+        );
+        let overlay = overlay_campaign(&w, &built.map, &campaign);
+        (w, built.map, overlay)
+    }
+
+    #[test]
+    fn direction_classifier() {
+        let sf = GeoPoint::new_unchecked(37.77, -122.42);
+        let nyc = GeoPoint::new_unchecked(40.71, -74.01);
+        let miami = GeoPoint::new_unchecked(25.76, -80.19);
+        assert_eq!(classify_direction(&sf, &nyc), Direction::WestToEast);
+        assert_eq!(classify_direction(&nyc, &sf), Direction::EastToWest);
+        assert_eq!(classify_direction(&nyc, &miami), Direction::Meridional);
+    }
+
+    #[test]
+    fn overlay_covers_most_traces() {
+        let (_, _, ov) = setup();
+        assert!(
+            ov.overlaid * 10 > ov.skipped,
+            "overlaid {} skipped {}",
+            ov.overlaid,
+            ov.skipped
+        );
+        assert!(ov.conduit_freq.iter().sum::<u64>() > 10_000);
+    }
+
+    #[test]
+    fn top_conduit_tables_are_ordered_and_directional() {
+        let (_, map, ov) = setup();
+        for dir in [Direction::WestToEast, Direction::EastToWest] {
+            let rows = ov.top_conduits(&map, Some(dir), 20);
+            assert!(!rows.is_empty());
+            for w in rows.windows(2) {
+                assert!(w[0].probes >= w[1].probes);
+            }
+        }
+        let all = ov.top_conduits(&map, None, 20);
+        assert!(all[0].probes >= ov.top_conduits(&map, Some(Direction::WestToEast), 1)[0].probes);
+    }
+
+    #[test]
+    fn level3_tops_isp_usage() {
+        let (_, _, ov) = setup();
+        let ranking = ov.isp_usage_ranking();
+        assert!(!ranking.is_empty());
+        let pos = ranking.iter().position(|(n, _)| n == "Level 3").unwrap();
+        assert!(
+            pos <= 2,
+            "Level 3 should top Table 4, found at {pos}: {:?}",
+            &ranking[..5.min(ranking.len())]
+        );
+    }
+
+    #[test]
+    fn unpublished_isps_enter_table4() {
+        let (_, _, ov) = setup();
+        let ranking = ov.isp_usage_ranking();
+        let names: Vec<&str> = ranking.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(
+            names.contains(&"SoftLayer") || names.contains(&"MFN"),
+            "traceroute-only carriers should appear: {names:?}"
+        );
+    }
+
+    #[test]
+    fn fig9_overlay_only_increases_tenancy() {
+        let (_, map, ov) = setup();
+        let counts = ov.tenant_counts(&map);
+        let mut grew = 0usize;
+        for (base, with) in &counts {
+            assert!(with >= base);
+            grew += (with > base) as usize;
+        }
+        assert!(
+            grew > counts.len() / 10,
+            "overlay should reveal extra ISPs on some conduits ({grew})"
+        );
+        // Mean shift matches the paper's qualitative claim: risk is only
+        // greater when traffic is considered.
+        let mean_base: f64 =
+            counts.iter().map(|(b, _)| *b as f64).sum::<f64>() / counts.len() as f64;
+        let mean_with: f64 =
+            counts.iter().map(|(_, w)| *w as f64).sum::<f64>() / counts.len() as f64;
+        assert!(mean_with > mean_base);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the traceroute substrate.
+
+use intertubes_geo::GeoPoint;
+use intertubes_probes::{classify_direction, Direction};
+use proptest::prelude::*;
+
+fn conus() -> impl Strategy<Value = GeoPoint> {
+    (25.0f64..49.0, -124.0f64..-67.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn direction_is_antisymmetric(a in conus(), b in conus()) {
+        let fwd = classify_direction(&a, &b);
+        let rev = classify_direction(&b, &a);
+        match fwd {
+            Direction::WestToEast => prop_assert_eq!(rev, Direction::EastToWest),
+            Direction::EastToWest => prop_assert_eq!(rev, Direction::WestToEast),
+            Direction::Meridional => prop_assert_eq!(rev, Direction::Meridional),
+        }
+    }
+
+    #[test]
+    fn direction_matches_dominant_axis(a in conus(), b in conus()) {
+        let d = classify_direction(&a, &b);
+        let dlon = (b.lon - a.lon).abs();
+        let dlat = (b.lat - a.lat).abs();
+        if dlat > dlon {
+            prop_assert_eq!(d, Direction::Meridional);
+        } else if b.lon > a.lon {
+            prop_assert_eq!(d, Direction::WestToEast);
+        } else if b.lon < a.lon {
+            prop_assert_eq!(d, Direction::EastToWest);
+        }
+    }
+}
+
+mod campaign_invariants {
+    use intertubes_atlas::World;
+    use intertubes_probes::{run_campaign, ProbeConfig};
+
+    /// Campaign-level invariants on the reference world at several noise
+    /// settings: hop sequences start at the source, end at the destination
+    /// unless geolocation dropped it, and all hints are roster names.
+    #[test]
+    fn hop_sequences_are_well_formed_under_noise() {
+        let world = World::reference();
+        for (mpls, geo) in [(0.0, 0.0), (0.5, 0.3)] {
+            let cfg = ProbeConfig {
+                probes: 2_000,
+                mpls_rate: mpls,
+                geolocation_failure_rate: geo,
+                ..ProbeConfig::default()
+            };
+            let campaign = run_campaign(&world, &cfg);
+            for t in &campaign.traces {
+                assert!(!t.hops.is_empty());
+                if let Some(first) = t.hops.first().and_then(|h| h.city) {
+                    assert_eq!(first, t.src, "first resolved hop is the source");
+                }
+                if geo == 0.0 && mpls == 0.0 {
+                    // With zero noise the last hop is always the destination.
+                    assert_eq!(t.hops.last().unwrap().city, Some(t.dst));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Public-record document model.
+//!
+//! The paper's step-2/step-4 validation mines hundreds of public documents:
+//! government agency filings, environmental impact statements, franchise
+//! agreements, IRU agreements and swaps, press releases, right-of-way
+//! filings, and class-action settlement notices. Each document, whatever its
+//! genre, carries the same extractable evidence: *which cities* a fiber
+//! route runs between, *which providers* are in the conduit, and sometimes
+//! *which right-of-way* it follows.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a document in a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Document genre, mirroring the source types enumerated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DocKind {
+    /// A filing with a federal/state agency (e.g. the "coastal route" tax
+    /// filing the paper mines for the LA–SF conduit).
+    AgencyFiling,
+    /// An environmental impact statement for a corridor project.
+    EnvironmentalImpact,
+    /// A municipal franchise agreement.
+    FranchiseAgreement,
+    /// An indefeasible-right-of-use agreement or swap.
+    IruAgreement,
+    /// A provider press release.
+    PressRelease,
+    /// A railroad right-of-way class-action settlement notice.
+    SettlementNotice,
+    /// A state-DOT right-of-way permit.
+    RowFiling,
+    /// A construction/engineering project plan (e.g. the Wekiva Parkway
+    /// utilities section).
+    ProjectPlan,
+}
+
+impl DocKind {
+    /// All genres, for generation.
+    pub const ALL: [DocKind; 8] = [
+        DocKind::AgencyFiling,
+        DocKind::EnvironmentalImpact,
+        DocKind::FranchiseAgreement,
+        DocKind::IruAgreement,
+        DocKind::PressRelease,
+        DocKind::SettlementNotice,
+        DocKind::RowFiling,
+        DocKind::ProjectPlan,
+    ];
+
+    /// Human-readable genre name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DocKind::AgencyFiling => "agency filing",
+            DocKind::EnvironmentalImpact => "environmental impact statement",
+            DocKind::FranchiseAgreement => "franchise agreement",
+            DocKind::IruAgreement => "IRU agreement",
+            DocKind::PressRelease => "press release",
+            DocKind::SettlementNotice => "settlement notice",
+            DocKind::RowFiling => "right-of-way filing",
+            DocKind::ProjectPlan => "project plan",
+        }
+    }
+}
+
+/// A right-of-way hint extracted from a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowHint {
+    /// Route follows a highway.
+    Road,
+    /// Route follows a railroad.
+    Rail,
+    /// Route follows a pipeline.
+    Pipeline,
+}
+
+/// One public record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Stable id within its corpus.
+    pub id: DocId,
+    /// Genre.
+    pub kind: DocKind,
+    /// Synthesized title (searchable).
+    pub title: String,
+    /// Synthesized body prose (searchable).
+    pub body: String,
+    /// City labels (`"City, ST"`) the record names as route endpoints.
+    pub cities: Vec<String>,
+    /// Provider names the record places in the conduit.
+    pub isps: Vec<String>,
+    /// Right-of-way evidence, if the record contains any.
+    pub row: Option<RowHint>,
+}
+
+impl Document {
+    /// Whether the record names both endpoint cities of a candidate link.
+    pub fn mentions_pair(&self, a: &str, b: &str) -> bool {
+        self.cities.iter().any(|c| c == a) && self.cities.iter().any(|c| c == b)
+    }
+
+    /// Whether the record names the given provider.
+    pub fn mentions_isp(&self, isp: &str) -> bool {
+        self.isps.iter().any(|i| i == isp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document {
+            id: DocId(0),
+            kind: DocKind::IruAgreement,
+            title: "IRU agreement: Dallas, TX - Houston, TX".into(),
+            body: "Carrier A grants carrier B fiber strands…".into(),
+            cities: vec!["Dallas, TX".into(), "Houston, TX".into()],
+            isps: vec!["AT&T".into(), "Sprint".into()],
+            row: Some(RowHint::Rail),
+        }
+    }
+
+    #[test]
+    fn pair_mention_is_order_insensitive() {
+        let d = doc();
+        assert!(d.mentions_pair("Dallas, TX", "Houston, TX"));
+        assert!(d.mentions_pair("Houston, TX", "Dallas, TX"));
+        assert!(!d.mentions_pair("Dallas, TX", "Austin, TX"));
+    }
+
+    #[test]
+    fn isp_mention_is_exact() {
+        let d = doc();
+        assert!(d.mentions_isp("AT&T"));
+        assert!(!d.mentions_isp("Verizon"));
+        assert!(!d.mentions_isp("AT"));
+    }
+
+    #[test]
+    fn all_kinds_have_labels() {
+        for k in DocKind::ALL {
+            assert!(!k.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Evidence accumulation: from records to validated links and inferred
+//! conduit sharing (the paper's steps 2 and 4).
+//!
+//! Given a candidate link (a city pair, possibly with a claimed provider),
+//! the engine collects every record naming both endpoints and accumulates,
+//! per provider, the number of independent records placing that provider in
+//! the conduit. Single mentions are treated as weak evidence (the paper
+//! requires "sufficient evidence", often ruling out alternatives); the
+//! confidence model makes that explicit.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+use crate::document::{DocId, RowHint};
+
+/// Evidence gathered for one provider on one city pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderEvidence {
+    /// Provider name.
+    pub isp: String,
+    /// Records naming the provider on this pair.
+    pub docs: Vec<DocId>,
+    /// Confidence in `[0, 1)`: `1 - exp(-docs/2)` — one record ≈ 0.39, two
+    /// ≈ 0.63, four ≈ 0.86.
+    pub confidence: f64,
+}
+
+/// The outcome of evidence gathering for one city pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairEvidence {
+    /// Endpoint label.
+    pub a: String,
+    /// Endpoint label.
+    pub b: String,
+    /// All records naming the pair.
+    pub docs: Vec<DocId>,
+    /// Per-provider evidence, sorted by descending confidence.
+    pub providers: Vec<ProviderEvidence>,
+    /// Right-of-way votes across the records.
+    pub row_votes: HashMap<RowHintKey, usize>,
+}
+
+/// Hashable right-of-way key for vote counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowHintKey {
+    /// Highway right-of-way.
+    Road,
+    /// Railroad right-of-way.
+    Rail,
+    /// Pipeline right-of-way.
+    Pipeline,
+}
+
+impl From<RowHint> for RowHintKey {
+    fn from(h: RowHint) -> Self {
+        match h {
+            RowHint::Road => RowHintKey::Road,
+            RowHint::Rail => RowHintKey::Rail,
+            RowHint::Pipeline => RowHintKey::Pipeline,
+        }
+    }
+}
+
+impl PairEvidence {
+    /// Providers meeting a confidence threshold.
+    pub fn confident_providers(&self, min_confidence: f64) -> Vec<&str> {
+        self.providers
+            .iter()
+            .filter(|p| p.confidence >= min_confidence)
+            .map(|p| p.isp.as_str())
+            .collect()
+    }
+
+    /// The majority right-of-way vote, if any record carried a hint.
+    pub fn dominant_row(&self) -> Option<RowHintKey> {
+        self.row_votes
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(k, _)| *k)
+    }
+
+    /// Whether the pair has any documentary support at all.
+    pub fn is_validated(&self) -> bool {
+        !self.docs.is_empty()
+    }
+
+    /// Whether a specific provider is supported on this pair.
+    pub fn validates_isp(&self, isp: &str, min_confidence: f64) -> bool {
+        self.providers
+            .iter()
+            .any(|p| p.isp == isp && p.confidence >= min_confidence)
+    }
+}
+
+/// Confidence from an evidence count: `1 - exp(-n/2)`.
+pub fn confidence_from_docs(n: usize) -> f64 {
+    1.0 - (-(n as f64) / 2.0).exp()
+}
+
+/// Gathers all evidence about a city pair from the corpus.
+pub fn gather_pair_evidence(corpus: &Corpus, a: &str, b: &str) -> PairEvidence {
+    let docs = corpus.records_for_pair(a, b);
+    let mut per_isp: HashMap<String, Vec<DocId>> = HashMap::new();
+    let mut row_votes: HashMap<RowHintKey, usize> = HashMap::new();
+    for id in &docs {
+        let d = corpus.doc(*id);
+        for isp in &d.isps {
+            per_isp.entry(isp.clone()).or_default().push(*id);
+        }
+        if let Some(h) = d.row {
+            *row_votes.entry(h.into()).or_insert(0) += 1;
+        }
+    }
+    let mut providers: Vec<ProviderEvidence> = per_isp
+        .into_iter()
+        .map(|(isp, docs)| {
+            let confidence = confidence_from_docs(docs.len());
+            ProviderEvidence {
+                isp,
+                docs,
+                confidence,
+            }
+        })
+        .collect();
+    providers.sort_by(|x, y| {
+        y.confidence
+            .total_cmp(&x.confidence)
+            .then(x.isp.cmp(&y.isp))
+    });
+    PairEvidence {
+        a: a.to_string(),
+        b: b.to_string(),
+        docs,
+        providers,
+        row_votes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crate::document::{DocKind, Document};
+
+    fn mk(id: u32, cities: [&str; 2], isps: &[&str], row: Option<RowHint>) -> Document {
+        Document {
+            id: DocId(id),
+            kind: DocKind::IruAgreement,
+            title: format!("doc {id}: {} to {}", cities[0], cities[1]),
+            body: String::new(),
+            cities: cities.iter().map(|s| s.to_string()).collect(),
+            isps: isps.iter().map(|s| s.to_string()).collect(),
+            row,
+        }
+    }
+
+    fn corpus() -> Corpus {
+        Corpus::from_documents(vec![
+            mk(
+                0,
+                ["Dallas, TX", "Houston, TX"],
+                &["AT&T", "Sprint"],
+                Some(RowHint::Rail),
+            ),
+            mk(
+                1,
+                ["Dallas, TX", "Houston, TX"],
+                &["AT&T"],
+                Some(RowHint::Rail),
+            ),
+            mk(
+                2,
+                ["Dallas, TX", "Houston, TX"],
+                &["Verizon"],
+                Some(RowHint::Road),
+            ),
+            mk(3, ["Dallas, TX", "Austin, TX"], &["AT&T"], None),
+        ])
+    }
+
+    #[test]
+    fn evidence_counts_per_provider() {
+        let c = corpus();
+        let ev = gather_pair_evidence(&c, "Dallas, TX", "Houston, TX");
+        assert_eq!(ev.docs.len(), 3);
+        assert!(ev.is_validated());
+        let att = ev.providers.iter().find(|p| p.isp == "AT&T").unwrap();
+        assert_eq!(att.docs.len(), 2);
+        let sprint = ev.providers.iter().find(|p| p.isp == "Sprint").unwrap();
+        assert_eq!(sprint.docs.len(), 1);
+        assert!(att.confidence > sprint.confidence);
+    }
+
+    #[test]
+    fn confidence_is_monotone_and_bounded() {
+        assert_eq!(confidence_from_docs(0), 0.0);
+        let mut last = 0.0;
+        for n in 1..10 {
+            let c = confidence_from_docs(n);
+            assert!(c > last && c < 1.0);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn thresholds_filter_weak_evidence() {
+        let c = corpus();
+        let ev = gather_pair_evidence(&c, "Dallas, TX", "Houston, TX");
+        // One-record providers (~0.39) fall below 0.5; two-record AT&T (~0.63) passes.
+        let strong = ev.confident_providers(0.5);
+        assert_eq!(strong, vec!["AT&T"]);
+        assert!(ev.validates_isp("AT&T", 0.5));
+        assert!(!ev.validates_isp("Verizon", 0.5));
+        assert!(ev.validates_isp("Verizon", 0.3));
+    }
+
+    #[test]
+    fn row_votes_take_majority() {
+        let c = corpus();
+        let ev = gather_pair_evidence(&c, "Dallas, TX", "Houston, TX");
+        assert_eq!(ev.dominant_row(), Some(RowHintKey::Rail));
+    }
+
+    #[test]
+    fn unknown_pair_has_no_evidence() {
+        let c = corpus();
+        let ev = gather_pair_evidence(&c, "Miami, FL", "Seattle, WA");
+        assert!(!ev.is_validated());
+        assert!(ev.providers.is_empty());
+        assert_eq!(ev.dominant_row(), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic public-records corpus and evidence inference.
+//!
+//! Steps 2 and 4 of the paper's mapping process validate link locations and
+//! infer conduit sharing from public documents — agency filings, IRU
+//! agreements, right-of-way permits, settlements, press releases. The real
+//! corpus was assembled by hand from hundreds of scattered sources; this
+//! crate generates a synthetic corpus from the ground-truth world (with
+//! configurable coverage and noise) and provides the search and
+//! evidence-accumulation machinery the pipeline uses to mine it.
+//!
+//! The corpus speaks only in city labels and provider names — it never
+//! leaks ground-truth identifiers — so the map-construction pipeline has to
+//! do the same inference work the paper's authors did.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod document;
+mod inference;
+
+pub use corpus::{generate_corpus, tokenize, Corpus, CorpusConfig};
+pub use document::{DocId, DocKind, Document, RowHint};
+pub use inference::{
+    confidence_from_docs, gather_pair_evidence, PairEvidence, ProviderEvidence, RowHintKey,
+};

@@ -1,0 +1,130 @@
+//! Property-based tests for the records substrate: tokenizer laws, search
+//! ranking, and evidence-accumulation invariants on synthetic documents.
+
+use intertubes_records::{
+    confidence_from_docs, gather_pair_evidence, tokenize, Corpus, DocId, DocKind, Document,
+};
+use proptest::prelude::*;
+
+fn arb_city() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "Dallas, TX",
+        "Houston, TX",
+        "Austin, TX",
+        "Denver, CO",
+        "Omaha, NE",
+        "Boise, ID",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn arb_isps() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(
+        prop::sample::select(vec!["AT&T", "Sprint", "Level 3", "Verizon", "Zayo"]),
+        1..4,
+    )
+    .prop_map(|v| {
+        let mut v: Vec<String> = v.into_iter().map(str::to_string).collect();
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+fn arb_docs() -> impl Strategy<Value = Vec<Document>> {
+    prop::collection::vec((arb_city(), arb_city(), arb_isps()), 1..25).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b, isps))| Document {
+                id: DocId(i as u32),
+                kind: DocKind::ALL[i % DocKind::ALL.len()],
+                title: format!("record {i}: {a} to {b}"),
+                body: format!("fiber facilities installed by {}", isps.join(", ")),
+                cities: vec![a, b],
+                isps,
+                row: None,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn tokenize_is_idempotent_and_lowercase(text in ".{0,120}") {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(&once, &again, "tokenization must be idempotent");
+        for t in &once {
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+            prop_assert!(t.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn search_finds_exactly_what_mentions_all_terms(docs in arb_docs()) {
+        let corpus = Corpus::from_documents(docs.clone());
+        // Query each document by its own city pair; it must be in the hits.
+        for d in &docs {
+            let query = format!("{} {}", d.cities[0], d.cities[1]);
+            let terms = tokenize(&query).len();
+            let hits = corpus.search(&query, terms);
+            prop_assert!(hits.contains(&d.id),
+                "doc {:?} not found by its own pair query", d.id);
+        }
+    }
+
+    #[test]
+    fn search_ranking_is_by_hit_count(docs in arb_docs(), q in "[a-z ,]{2,40}") {
+        let corpus = Corpus::from_documents(docs);
+        let hits = corpus.search(&q, 1);
+        // Recompute scores and verify non-increasing order.
+        let score = |id: DocId| {
+            let d = corpus.doc(id);
+            let text = format!("{} {} {} {}", d.title, d.body, d.cities.join(" "), d.isps.join(" "));
+            let doc_tokens: std::collections::HashSet<String> =
+                tokenize(&text).into_iter().collect();
+            let mut qt = tokenize(&q);
+            qt.sort();
+            qt.dedup();
+            qt.iter().filter(|t| doc_tokens.contains(*t)).count()
+        };
+        for w in hits.windows(2) {
+            prop_assert!(score(w[0]) >= score(w[1]));
+        }
+    }
+
+    #[test]
+    fn evidence_docs_partition_by_provider(docs in arb_docs()) {
+        let corpus = Corpus::from_documents(docs.clone());
+        let ev = gather_pair_evidence(&corpus, "Dallas, TX", "Houston, TX");
+        // Every per-provider doc must actually mention the pair and provider.
+        for p in &ev.providers {
+            for id in &p.docs {
+                let d = corpus.doc(*id);
+                prop_assert!(d.mentions_pair("Dallas, TX", "Houston, TX"));
+                prop_assert!(d.mentions_isp(&p.isp));
+            }
+            prop_assert!((p.confidence - confidence_from_docs(p.docs.len())).abs() < 1e-12);
+        }
+        // Provider doc lists cover exactly the pair's docs' isps.
+        let expected: std::collections::HashSet<&str> = ev
+            .docs
+            .iter()
+            .flat_map(|id| corpus.doc(*id).isps.iter().map(String::as_str))
+            .collect();
+        let got: std::collections::HashSet<&str> =
+            ev.providers.iter().map(|p| p.isp.as_str()).collect();
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn confidence_ordering_follows_doc_counts(docs in arb_docs()) {
+        let corpus = Corpus::from_documents(docs);
+        let ev = gather_pair_evidence(&corpus, "Dallas, TX", "Houston, TX");
+        for w in ev.providers.windows(2) {
+            prop_assert!(w[0].confidence >= w[1].confidence);
+            prop_assert!(w[0].docs.len() >= w[1].docs.len());
+        }
+    }
+}

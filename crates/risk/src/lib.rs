@@ -1,0 +1,28 @@
+//! Shared-risk assessment (the paper's §4).
+//!
+//! Builds the §4.1 risk matrix over a constructed fiber map and computes:
+//! the conduit-sharing distribution and provider ranking (§4.2, Figs. 6–7),
+//! Hamming-distance risk-profile similarity (Fig. 8), and the
+//! traffic-weighted view obtained by overlaying traceroute campaigns
+//! (§4.3, Fig. 9 and Tables 2–4, via `intertubes-probes`). The
+//! [`map_resilience`]/[`isp_resilience`] extension quantifies the §4
+//! future-work question — how many fiber cuts partition the
+//! infrastructure — via bridges and Stoer–Wagner minimum cuts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hamming;
+mod matrix;
+mod metrics;
+mod resilience;
+mod traffic;
+
+pub use hamming::{hamming_distance, hamming_heatmap, HammingHeatmap};
+pub use matrix::RiskMatrix;
+pub use metrics::{
+    conduits_shared_by_at_least, isp_sharing_ranking, raw_shared_conduits, sharing_fraction,
+    SharingStats,
+};
+pub use resilience::{isp_resilience, map_resilience, IspResilience, ResilienceReport};
+pub use traffic::{traffic_risk, Cdf, TrafficRisk};

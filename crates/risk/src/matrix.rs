@@ -1,0 +1,155 @@
+//! The risk matrix (§4.1).
+//!
+//! Rows are providers, columns are conduits; the entry for provider *i* and
+//! conduit *c* is the number of providers sharing *c* if *i* is a tenant,
+//! else 0 — exactly the counting scheme the paper illustrates with the
+//! Level 3 / Sprint example.
+
+use intertubes_map::FiberMap;
+use serde::{Deserialize, Serialize};
+
+/// The §4.1 risk matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RiskMatrix {
+    /// Provider names (row order).
+    pub isps: Vec<String>,
+    /// `uses[i][c]`: provider `i` is a tenant of conduit `c`.
+    pub uses: Vec<Vec<bool>>,
+    /// `shared[c]`: number of row providers sharing conduit `c`.
+    pub shared: Vec<u16>,
+}
+
+impl RiskMatrix {
+    /// Builds the matrix for the given providers over a constructed map.
+    ///
+    /// Providers absent from the map get all-zero rows (and a zero share
+    /// contribution), mirroring the paper's incremental construction.
+    pub fn build(map: &FiberMap, isps: &[String]) -> RiskMatrix {
+        let n = map.conduits.len();
+        let mut uses = vec![vec![false; n]; isps.len()];
+        let mut shared = vec![0u16; n];
+        for (c, conduit) in map.conduits.iter().enumerate() {
+            for (i, isp) in isps.iter().enumerate() {
+                if conduit.has_tenant(isp) {
+                    uses[i][c] = true;
+                    shared[c] += 1;
+                }
+            }
+        }
+        RiskMatrix {
+            isps: isps.to_vec(),
+            uses,
+            shared,
+        }
+    }
+
+    /// Number of conduits (columns).
+    pub fn conduit_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Number of providers (rows).
+    pub fn isp_count(&self) -> usize {
+        self.isps.len()
+    }
+
+    /// The matrix entry: shared count if the provider uses the conduit,
+    /// else 0.
+    pub fn value(&self, isp: usize, conduit: usize) -> u16 {
+        if self.uses[isp][conduit] {
+            self.shared[conduit]
+        } else {
+            0
+        }
+    }
+
+    /// One full row of the matrix.
+    pub fn row(&self, isp: usize) -> Vec<u16> {
+        (0..self.conduit_count())
+            .map(|c| self.value(isp, c))
+            .collect()
+    }
+
+    /// Index of a provider by name.
+    pub fn isp_index(&self, name: &str) -> Option<usize> {
+        self.isps.iter().position(|n| n == name)
+    }
+
+    /// The conduits a provider uses.
+    pub fn conduits_of(&self, isp: usize) -> Vec<usize> {
+        (0..self.conduit_count())
+            .filter(|&c| self.uses[isp][c])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intertubes_geo::{GeoPoint, Polyline};
+    use intertubes_map::{MapConduit, Provenance, Tenancy, TenancySource};
+
+    /// The paper's worked example: Level 3 on c1,c2,c3; Sprint on c1,c2.
+    fn example_map() -> FiberMap {
+        let mut m = FiberMap::default();
+        let slc = m.ensure_node(
+            "Salt Lake City, UT",
+            GeoPoint::new_unchecked(40.76, -111.89),
+        );
+        let den = m.ensure_node("Denver, CO", GeoPoint::new_unchecked(39.74, -104.99));
+        let sac = m.ensure_node("Sacramento, CA", GeoPoint::new_unchecked(38.58, -121.49));
+        let pa = m.ensure_node("Palo Alto, CA", GeoPoint::new_unchecked(37.44, -122.14));
+        let t = |isp: &str| Tenancy {
+            isp: isp.into(),
+            source: TenancySource::PublishedMap,
+        };
+        let mk = |a: intertubes_map::MapNodeId,
+                  b: intertubes_map::MapNodeId,
+                  tenants: Vec<Tenancy>,
+                  m: &FiberMap| MapConduit {
+            a,
+            b,
+            geometry: Polyline::straight(m.nodes[a.index()].location, m.nodes[b.index()].location),
+            tenants,
+            provenance: Provenance::Step1,
+            validated: true,
+            row: None,
+        };
+        let c1 = mk(slc, den, vec![t("Level 3"), t("Sprint")], &m);
+        let c2 = mk(slc, sac, vec![t("Level 3"), t("Sprint")], &m);
+        let c3 = mk(sac, pa, vec![t("Level 3")], &m);
+        m.conduits.extend([c1, c2, c3]);
+        m
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        let m = example_map();
+        let rm = RiskMatrix::build(&m, &["Level 3".into(), "Sprint".into()]);
+        // Paper: Level 3 row = [2, 2, 1], Sprint row = [2, 2, 0].
+        assert_eq!(rm.row(0), vec![2, 2, 1]);
+        assert_eq!(rm.row(1), vec![2, 2, 0]);
+        assert_eq!(rm.value(1, 2), 0);
+        assert_eq!(rm.conduit_count(), 3);
+        assert_eq!(rm.isp_count(), 2);
+    }
+
+    #[test]
+    fn unknown_isp_row_is_zero() {
+        let m = example_map();
+        let rm = RiskMatrix::build(&m, &["Level 3".into(), "Nobody".into()]);
+        assert_eq!(rm.row(1), vec![0, 0, 0]);
+        // And it does not inflate the share counts.
+        assert_eq!(rm.shared, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn lookups() {
+        let m = example_map();
+        let rm = RiskMatrix::build(&m, &["Level 3".into(), "Sprint".into()]);
+        assert_eq!(rm.isp_index("Sprint"), Some(1));
+        assert_eq!(rm.isp_index("XO"), None);
+        assert_eq!(rm.conduits_of(1), vec![0, 1]);
+        assert_eq!(rm.conduits_of(0), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Connectivity-only risk metrics (§4.2): conduit-sharing distribution
+//! (Fig. 6 bars), provider ranking by average shared risk (Fig. 6 ranking
+//! plot) and raw shared-conduit counts (Fig. 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::RiskMatrix;
+
+/// The Fig. 6 bar data: `bars[k-1]` = number of conduits shared by at least
+/// `k` providers (`bars[0]` is the total conduit count).
+pub fn conduits_shared_by_at_least(rm: &RiskMatrix) -> Vec<usize> {
+    let max = rm.shared.iter().copied().max().unwrap_or(0) as usize;
+    (1..=max.max(1))
+        .map(|k| rm.shared.iter().filter(|&&s| s as usize >= k).count())
+        .collect()
+}
+
+/// Fraction of conduits shared by at least `k` providers.
+pub fn sharing_fraction(rm: &RiskMatrix, k: u16) -> f64 {
+    if rm.conduit_count() == 0 {
+        return 0.0;
+    }
+    rm.shared.iter().filter(|&&s| s >= k).count() as f64 / rm.conduit_count() as f64
+}
+
+/// One provider's entry in the Fig. 6 ranking plot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharingStats {
+    /// Provider name.
+    pub isp: String,
+    /// Mean number of providers sharing the conduits this provider uses.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Number of conduits the provider uses.
+    pub conduits: usize,
+}
+
+fn percentile(sorted: &[u16], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    let frac = idx - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+/// Per-provider sharing statistics, sorted by ascending mean (the paper's
+/// ranking order: least-shared providers first).
+pub fn isp_sharing_ranking(rm: &RiskMatrix) -> Vec<SharingStats> {
+    let mut out = Vec::with_capacity(rm.isp_count());
+    for i in 0..rm.isp_count() {
+        let mut values: Vec<u16> = rm
+            .conduits_of(i)
+            .into_iter()
+            .map(|c| rm.shared[c])
+            .collect();
+        values.sort_unstable();
+        let n = values.len();
+        if n == 0 {
+            out.push(SharingStats {
+                isp: rm.isps[i].clone(),
+                mean: 0.0,
+                std_error: 0.0,
+                p25: 0.0,
+                p75: 0.0,
+                conduits: 0,
+            });
+            continue;
+        }
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var = values
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        out.push(SharingStats {
+            isp: rm.isps[i].clone(),
+            mean,
+            std_error: (var / n as f64).sqrt(),
+            p25: percentile(&values, 0.25),
+            p75: percentile(&values, 0.75),
+            conduits: n,
+        });
+    }
+    out.sort_by(|a, b| a.mean.total_cmp(&b.mean).then(a.isp.cmp(&b.isp)));
+    out
+}
+
+/// Fig. 7: per provider, the raw number of its conduits that are shared
+/// with at least one other provider, sorted ascending.
+pub fn raw_shared_conduits(rm: &RiskMatrix) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = (0..rm.isp_count())
+        .map(|i| {
+            let shared = rm
+                .conduits_of(i)
+                .into_iter()
+                .filter(|&c| rm.shared[c] >= 2)
+                .count();
+            (rm.isps[i].clone(), shared)
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::RiskMatrix;
+    use intertubes_geo::{GeoPoint, Polyline};
+    use intertubes_map::{FiberMap, MapConduit, Provenance, Tenancy, TenancySource};
+
+    fn map_with(tenants: Vec<Vec<&str>>) -> FiberMap {
+        let mut m = FiberMap::default();
+        let a = m.ensure_node("A, XX", GeoPoint::new_unchecked(40.0, -100.0));
+        let b = m.ensure_node("B, XX", GeoPoint::new_unchecked(41.0, -100.0));
+        for ts in tenants {
+            m.conduits.push(MapConduit {
+                a,
+                b,
+                geometry: Polyline::straight(
+                    GeoPoint::new_unchecked(40.0, -100.0),
+                    GeoPoint::new_unchecked(41.0, -100.0),
+                ),
+                tenants: ts
+                    .into_iter()
+                    .map(|i| Tenancy {
+                        isp: i.into(),
+                        source: TenancySource::PublishedMap,
+                    })
+                    .collect(),
+                provenance: Provenance::Step1,
+                validated: true,
+                row: None,
+            });
+        }
+        m
+    }
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shared_by_at_least_is_cumulative() {
+        let m = map_with(vec![vec!["X"], vec!["X", "Y"], vec!["X", "Y", "Z"]]);
+        let rm = RiskMatrix::build(&m, &names(&["X", "Y", "Z"]));
+        assert_eq!(conduits_shared_by_at_least(&rm), vec![3, 2, 1]);
+        assert!((sharing_fraction(&rm, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((sharing_fraction(&rm, 3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_orders_by_mean() {
+        let m = map_with(vec![
+            vec!["X"],
+            vec!["X", "Y"],
+            vec!["Y", "Z"],
+            vec!["Y", "Z"],
+        ]);
+        let rm = RiskMatrix::build(&m, &names(&["X", "Y", "Z"]));
+        let ranking = isp_sharing_ranking(&rm);
+        // X: conduits shared 1,2 → mean 1.5. Y: 2,2,2 → 2.0. Z: 2,2 → 2.0.
+        assert_eq!(ranking[0].isp, "X");
+        assert!((ranking[0].mean - 1.5).abs() < 1e-12);
+        assert_eq!(ranking[0].conduits, 2);
+        assert!(ranking[1].mean >= ranking[0].mean);
+        // Percentiles bracket the mean.
+        for r in &ranking {
+            assert!(r.p25 <= r.mean + 1e-9);
+            assert!(r.p75 + 1e-9 >= r.mean || r.conduits == 0);
+        }
+    }
+
+    #[test]
+    fn empty_provider_gets_zeroes() {
+        let m = map_with(vec![vec!["X"]]);
+        let rm = RiskMatrix::build(&m, &names(&["X", "Ghost"]));
+        let ranking = isp_sharing_ranking(&rm);
+        let ghost = ranking.iter().find(|r| r.isp == "Ghost").unwrap();
+        assert_eq!(ghost.conduits, 0);
+        assert_eq!(ghost.mean, 0.0);
+    }
+
+    #[test]
+    fn raw_shared_counts() {
+        let m = map_with(vec![vec!["X"], vec!["X", "Y"], vec!["Y", "Z"]]);
+        let rm = RiskMatrix::build(&m, &names(&["X", "Y", "Z"]));
+        let raw = raw_shared_conduits(&rm);
+        let get = |n: &str| raw.iter().find(|(i, _)| i == n).unwrap().1;
+        assert_eq!(get("X"), 1); // its solo conduit doesn't count
+        assert_eq!(get("Y"), 2);
+        assert_eq!(get("Z"), 1);
+        // Ascending order.
+        for w in raw.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        assert_eq!(percentile(&[1, 3], 0.5), 2.0);
+        assert_eq!(percentile(&[1, 2, 3, 4, 5], 0.25), 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7], 0.75), 7.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Physical-resilience analysis — the §4 future-work dimension the paper
+//! defers ("number of fiber cuts to partition the US long-haul
+//! infrastructure", with its security implications [2]).
+//!
+//! Over the constructed map's conduit multigraph we compute: the global
+//! minimum cut (how many conduit cuts disconnect the country), bridge
+//! conduits (single points of partition), articulation cities, and the
+//! same quantities per provider sub-network — which makes precise the
+//! paper's remark that Suddenlink "must depend on certain highly-shared
+//! conduits to reach certain locations".
+
+use intertubes_graph::{
+    articulation_points, bridges, connected_components, stoer_wagner_min_cut, MultiGraph, NodeId,
+};
+use intertubes_map::{FiberMap, MapConduitId};
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::RiskMatrix;
+
+/// Whole-map physical resilience.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Connected components of the conduit graph (1 = country connected).
+    pub components: usize,
+    /// Conduits whose single cut partitions the map.
+    pub bridge_conduits: Vec<MapConduitId>,
+    /// Cities whose loss partitions the map.
+    pub articulation_cities: Vec<String>,
+    /// Minimum number of simultaneous conduit cuts that partition the map.
+    pub min_cut_conduits: usize,
+    /// City labels on the smaller shore of that minimum cut.
+    pub min_cut_side: Vec<String>,
+}
+
+/// Per-provider resilience (over the provider's own conduits only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspResilience {
+    /// Provider name.
+    pub isp: String,
+    /// Connected components of the provider's sub-network.
+    pub components: usize,
+    /// Bridges within the provider's sub-network.
+    pub bridges: usize,
+    /// Minimum cut of the provider's largest component (0 when the network
+    /// is already fragmented).
+    pub min_cut: usize,
+}
+
+/// Computes the whole-map resilience report.
+pub fn map_resilience(map: &FiberMap) -> ResilienceReport {
+    let g = map.graph();
+    let (_, components) = connected_components(&g);
+    let bridge_conduits: Vec<MapConduitId> = bridges(&g).into_iter().map(|e| *g.edge(e)).collect();
+    let articulation_cities: Vec<String> = articulation_points(&g)
+        .into_iter()
+        .map(|n| map.nodes[n.index()].label.clone())
+        .collect();
+    let (cut, side) = stoer_wagner_min_cut(&g, |_| 1.0);
+    ResilienceReport {
+        components,
+        bridge_conduits,
+        articulation_cities,
+        min_cut_conduits: cut.round() as usize,
+        min_cut_side: side
+            .into_iter()
+            .map(|n| map.nodes[n.index()].label.clone())
+            .collect(),
+    }
+}
+
+/// Computes per-provider resilience over the risk matrix's providers.
+pub fn isp_resilience(map: &FiberMap, rm: &RiskMatrix) -> Vec<IspResilience> {
+    let mut out = Vec::with_capacity(rm.isp_count());
+    for i in 0..rm.isp_count() {
+        // Sub-multigraph restricted to the cities the provider touches.
+        let conduits = rm.conduits_of(i);
+        let mut remap = vec![u32::MAX; map.nodes.len()];
+        let mut g: MultiGraph<(), MapConduitId> = MultiGraph::new();
+        let node_of = |g: &mut MultiGraph<(), MapConduitId>, remap: &mut Vec<u32>, n: usize| {
+            if remap[n] == u32::MAX {
+                remap[n] = g.add_node(()).0;
+            }
+            NodeId(remap[n])
+        };
+        for &c in &conduits {
+            let conduit = &map.conduits[c];
+            let a = node_of(&mut g, &mut remap, conduit.a.index());
+            let b = node_of(&mut g, &mut remap, conduit.b.index());
+            g.add_edge(a, b, MapConduitId(c as u32));
+        }
+        let (_, components) = connected_components(&g);
+        let n_bridges = bridges(&g).len();
+        let min_cut = if components == 1 && g.node_count() >= 2 {
+            stoer_wagner_min_cut(&g, |_| 1.0).0.round() as usize
+        } else {
+            0 // already fragmented (or trivial)
+        };
+        out.push(IspResilience {
+            isp: rm.isps[i].clone(),
+            components,
+            bridges: n_bridges,
+            min_cut,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intertubes_geo::{GeoPoint, Polyline};
+    use intertubes_map::{MapConduit, Provenance, Tenancy, TenancySource};
+
+    fn t(isp: &str) -> Tenancy {
+        Tenancy {
+            isp: isp.into(),
+            source: TenancySource::PublishedMap,
+        }
+    }
+
+    /// Two triangles joined by a single bridge conduit.
+    fn barbell_map() -> FiberMap {
+        let mut m = FiberMap::default();
+        let names = ["A", "B", "C", "D", "E", "F"];
+        let ids: Vec<_> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                m.ensure_node(
+                    &format!("{n}, XX"),
+                    GeoPoint::new_unchecked(40.0 + i as f64 * 0.1, -100.0),
+                )
+            })
+            .collect();
+        let mut add = |a: usize, b: usize, tenants: Vec<Tenancy>| {
+            let conduit = MapConduit {
+                a: ids[a],
+                b: ids[b],
+                geometry: Polyline::straight(
+                    GeoPoint::new_unchecked(40.0 + a as f64 * 0.1, -100.0),
+                    GeoPoint::new_unchecked(40.0 + b as f64 * 0.1, -100.0),
+                ),
+                tenants,
+                provenance: Provenance::Step1,
+                validated: true,
+                row: None,
+            };
+            m.conduits.push(conduit);
+        };
+        add(0, 1, vec![t("X"), t("Y")]);
+        add(1, 2, vec![t("X"), t("Y")]);
+        add(0, 2, vec![t("X")]);
+        add(3, 4, vec![t("X")]);
+        add(4, 5, vec![t("X")]);
+        add(3, 5, vec![t("X")]);
+        add(2, 3, vec![t("X"), t("Y")]); // the bridge
+        m
+    }
+
+    #[test]
+    fn whole_map_resilience_finds_bridge_and_cut() {
+        let m = barbell_map();
+        let r = map_resilience(&m);
+        assert_eq!(r.components, 1);
+        assert_eq!(r.bridge_conduits, vec![MapConduitId(6)]);
+        assert_eq!(r.min_cut_conduits, 1);
+        assert_eq!(r.articulation_cities.len(), 2);
+        assert_eq!(r.min_cut_side.len(), 3);
+    }
+
+    #[test]
+    fn per_isp_resilience_reflects_fragmentation() {
+        let m = barbell_map();
+        let rm = RiskMatrix::build(&m, &["X".into(), "Y".into()]);
+        let reports = isp_resilience(&m, &rm);
+        let x = reports.iter().find(|r| r.isp == "X").unwrap();
+        assert_eq!(x.components, 1);
+        assert_eq!(x.min_cut, 1, "X is partitioned by cutting the bridge");
+        // Y uses only A-B, B-C and the bridge C-D: a path network — every
+        // conduit is a bridge, and its reach splits from X's.
+        let y = reports.iter().find(|r| r.isp == "Y").unwrap();
+        assert_eq!(y.components, 1);
+        assert_eq!(y.bridges, 3);
+        assert_eq!(y.min_cut, 1);
+    }
+
+    #[test]
+    fn empty_provider_is_degenerate() {
+        let m = barbell_map();
+        let rm = RiskMatrix::build(&m, &["X".into(), "Ghost".into()]);
+        let reports = isp_resilience(&m, &rm);
+        let ghost = reports.iter().find(|r| r.isp == "Ghost").unwrap();
+        assert_eq!(ghost.components, 0);
+        assert_eq!(ghost.bridges, 0);
+        assert_eq!(ghost.min_cut, 0);
+    }
+}

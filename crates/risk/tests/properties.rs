@@ -1,0 +1,165 @@
+//! Property-based tests: risk-matrix invariants on randomly generated maps.
+
+use intertubes_geo::{GeoPoint, Polyline};
+use intertubes_map::{FiberMap, MapConduit, Provenance, Tenancy, TenancySource};
+use intertubes_risk::{
+    conduits_shared_by_at_least, hamming_heatmap, isp_sharing_ranking, sharing_fraction, Cdf,
+    RiskMatrix,
+};
+use proptest::prelude::*;
+
+const ISPS: [&str; 6] = ["A", "B", "C", "D", "E", "F"];
+
+/// A random map: up to 12 conduits over up to 6 nodes, each with a random
+/// tenant subset.
+fn arb_map() -> impl Strategy<Value = FiberMap> {
+    prop::collection::vec(
+        (0u32..6, 0u32..6, prop::collection::vec(0usize..6, 1..5)),
+        1..12,
+    )
+    .prop_map(|conduits| {
+        let mut m = FiberMap::default();
+        for i in 0..6 {
+            m.ensure_node(
+                &format!("N{i}, XX"),
+                GeoPoint::new_unchecked(40.0 + i as f64 * 0.2, -100.0),
+            );
+        }
+        for (a, b, tenants) in conduits {
+            let mut names: Vec<usize> = tenants;
+            names.sort_unstable();
+            names.dedup();
+            m.conduits.push(MapConduit {
+                a: intertubes_map::MapNodeId(a),
+                b: intertubes_map::MapNodeId(b),
+                geometry: Polyline::straight(
+                    GeoPoint::new_unchecked(40.0 + a as f64 * 0.2, -100.0),
+                    GeoPoint::new_unchecked(40.01 + b as f64 * 0.2, -100.0),
+                ),
+                tenants: names
+                    .into_iter()
+                    .map(|i| Tenancy {
+                        isp: ISPS[i].to_string(),
+                        source: TenancySource::PublishedMap,
+                    })
+                    .collect(),
+                provenance: Provenance::Step1,
+                validated: true,
+                row: None,
+            });
+        }
+        m
+    })
+}
+
+fn isp_names() -> Vec<String> {
+    ISPS.iter().map(|s| s.to_string()).collect()
+}
+
+proptest! {
+    #[test]
+    fn shared_counts_match_tenant_lists(map in arb_map()) {
+        let rm = RiskMatrix::build(&map, &isp_names());
+        for (c, conduit) in map.conduits.iter().enumerate() {
+            prop_assert_eq!(rm.shared[c] as usize, conduit.tenant_count());
+        }
+    }
+
+    #[test]
+    fn value_is_zero_or_shared(map in arb_map()) {
+        let rm = RiskMatrix::build(&map, &isp_names());
+        for i in 0..rm.isp_count() {
+            for c in 0..rm.conduit_count() {
+                let v = rm.value(i, c);
+                prop_assert!(v == 0 || v == rm.shared[c]);
+                prop_assert_eq!(v != 0, rm.uses[i][c]);
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_bars_are_monotone_and_consistent(map in arb_map()) {
+        let rm = RiskMatrix::build(&map, &isp_names());
+        let bars = conduits_shared_by_at_least(&rm);
+        prop_assert_eq!(bars[0], rm.conduit_count());
+        for w in bars.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        for (k, &bar) in bars.iter().enumerate() {
+            let frac = sharing_fraction(&rm, (k + 1) as u16);
+            prop_assert!((frac - bar as f64 / rm.conduit_count() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_percentiles_bracket(map in arb_map()) {
+        let rm = RiskMatrix::build(&map, &isp_names());
+        let ranking = isp_sharing_ranking(&rm);
+        prop_assert_eq!(ranking.len(), rm.isp_count());
+        for w in ranking.windows(2) {
+            prop_assert!(w[0].mean <= w[1].mean + 1e-12);
+        }
+        for r in &ranking {
+            prop_assert!(r.p25 <= r.p75 + 1e-12);
+            if r.conduits > 0 {
+                prop_assert!(r.mean >= 1.0, "a used conduit has >= 1 tenant");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_is_a_metric(map in arb_map()) {
+        let rm = RiskMatrix::build(&map, &isp_names());
+        let hm = hamming_heatmap(&rm);
+        let n = hm.isps.len();
+        for i in 0..n {
+            prop_assert_eq!(hm.distance[i][i], 0);
+            for j in 0..n {
+                prop_assert_eq!(hm.distance[i][j], hm.distance[j][i]);
+                // Triangle inequality for Hamming distance.
+                for k in 0..n {
+                    prop_assert!(
+                        hm.distance[i][j] <= hm.distance[i][k] + hm.distance[k][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_footprints_have_zero_distance(map in arb_map()) {
+        // Duplicate provider A as "A2" on every conduit: rows must match.
+        let mut map = map;
+        for c in &mut map.conduits {
+            if c.has_tenant("A") {
+                c.tenants.push(Tenancy { isp: "A2".into(), source: TenancySource::Records });
+            }
+        }
+        let mut names = isp_names();
+        names.push("A2".into());
+        let rm = RiskMatrix::build(&map, &names);
+        let hm = hamming_heatmap(&rm);
+        let ia = hm.isps.iter().position(|n| n == "A").unwrap();
+        let ia2 = hm.isps.iter().position(|n| n == "A2").unwrap();
+        prop_assert_eq!(hm.distance[ia][ia2], 0);
+    }
+
+    #[test]
+    fn cdf_round_trips_samples(samples in prop::collection::vec(0usize..40, 0..50)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        if samples.is_empty() {
+            prop_assert_eq!(cdf.at(100), 0.0);
+        } else {
+            prop_assert!((cdf.at(40) - 1.0).abs() < 1e-12);
+            let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+            prop_assert!((cdf.mean() - mean).abs() < 1e-9);
+            // at() is non-decreasing.
+            let mut last = 0.0;
+            for x in 0..=40 {
+                let v = cdf.at(x);
+                prop_assert!(v + 1e-12 >= last);
+                last = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Conduit-exchange economics (§6.3) plus the what-if loop: price the
+//! eq.-2 additions as consortium builds, apply the plan, and show the
+//! §4 metrics before and after.
+//!
+//! ```sh
+//! cargo run --release --example conduit_exchange -- 0.5   # 50 % subsidy
+//! ```
+
+use intertubes::mitigation::{exchange_analysis, what_if, ExchangeConfig, ExchangeReport};
+use intertubes::Study;
+
+fn main() {
+    let subsidy: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+    let study = Study::reference();
+    let rm = study.risk_matrix();
+    let plan = study.augmentation();
+
+    let cfg = ExchangeConfig {
+        subsidy,
+        ..ExchangeConfig::default()
+    };
+    let report = exchange_analysis(&rm, &plan, &cfg);
+
+    println!(
+        "== Link-exchange offers (subsidy {:.0} %) ==",
+        subsidy * 100.0
+    );
+    println!(
+        "{:<20} {:<20} {:>6} {:>12} {:>9} {:>10}",
+        "a", "b", "km", "build cost", "eligible", "break-even"
+    );
+    for o in &report.offers {
+        println!(
+            "{:<20} {:<20} {:>6.0} {:>12.0} {:>9} {:>10}",
+            o.a,
+            o.b,
+            o.row_km,
+            o.total_cost,
+            o.eligible,
+            o.break_even_members.map_or("—".into(), |n| n.to_string()),
+        );
+    }
+    println!(
+        "{} of {} offers close at this subsidy level",
+        report.viable().count(),
+        report.offers.len()
+    );
+    if let Some(o) = report
+        .offers
+        .iter()
+        .find(|o| o.break_even_members.is_none())
+    {
+        let needed = ExchangeReport::required_subsidy(o, o.eligible, &cfg);
+        println!(
+            "e.g. {} — {} needs a {:.0} % subsidy even with all {} tenants on board",
+            o.a,
+            o.b,
+            needed * 100.0,
+            o.eligible
+        );
+    }
+
+    println!("\n== What-if: apply all {} additions ==", plan.added.len());
+    let wi = what_if(&study.built.map, &study.mapped_isp_names(), &plan);
+    println!(
+        "conduits shared by >=4 ISPs: {:.1} % → {:.1} %",
+        wi.ge4_before * 100.0,
+        wi.ge4_after * 100.0
+    );
+    println!(
+        "worst conduit co-tenancy:    {} → {}",
+        wi.max_sharing_before, wi.max_sharing_after
+    );
+    println!(
+        "mean per-ISP average risk:   {:.2} → {:.2}",
+        wi.mean_avg_risk_before, wi.mean_avg_risk_after
+    );
+    println!(
+        "\nthe dozen chokepoints dominate national shared risk: relieving them \
+         moves the worst-case numbers far more than the averages — the paper's \
+         'modest additions capture most of the gains' in before/after form."
+    );
+}

@@ -1,0 +1,193 @@
+//! `intertubes` — command-line front end for the reproduction.
+//!
+//! Machine-readable exports of the study's artifacts (the `figures` binary
+//! in `intertubes-bench` prints human-readable tables; this tool writes
+//! JSON/GeoJSON/CSV for downstream tooling).
+//!
+//! ```sh
+//! intertubes summary                    # map summary as JSON on stdout
+//! intertubes geojson map.geojson        # Fig. 1 as GeoJSON
+//! intertubes risk risk.json             # risk matrix + §4.2 metrics
+//! intertubes sharing-csv sharing.csv    # per-conduit tenant counts
+//! intertubes latency latency.json       # §5.3 per-pair delays
+//! intertubes export out/                # everything, one file per artifact
+//! intertubes --seed 42 summary          # any subcommand on another world
+//! ```
+
+use std::path::Path;
+
+use intertubes::{Study, StudyConfig};
+use serde_json::json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: intertubes [--seed N] <command> [args]\n\
+         commands:\n\
+           summary                map summary JSON to stdout\n\
+           geojson <out>          constructed map as GeoJSON\n\
+           risk <out>             risk matrix + sharing metrics JSON\n\
+           sharing-csv <out>      per-conduit tenancy CSV\n\
+           latency <out>          per-pair delay comparison JSON\n\
+           resilience <out>       min-cut / bridges / articulation JSON\n\
+           annotated <out>        traffic/delay/risk-annotated GeoJSON (10k probes)\n\
+           whatif <out>           section-4 metrics before/after the eq.-2 plan\n\
+           export <dir>           write all of the above into a directory"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = StudyConfig::default();
+    if args.first().map(String::as_str) == Some("--seed") {
+        if args.len() < 2 {
+            usage();
+        }
+        cfg.world.seed = args[1].parse().unwrap_or_else(|_| {
+            eprintln!("--seed takes an integer");
+            std::process::exit(2);
+        });
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        usage()
+    };
+
+    eprintln!("building study (seed {}) …", cfg.world.seed);
+    let study = Study::new(cfg);
+
+    match command.as_str() {
+        "summary" => {
+            let text = serde_json::to_string_pretty(&summary_json(&study)).expect("serializes");
+            println!("{text}");
+        }
+        "geojson" => {
+            let out = args.get(1).cloned().unwrap_or_else(|| usage());
+            write_json(&out, &intertubes::map::to_geojson(&study.built.map));
+        }
+        "risk" => {
+            let out = args.get(1).cloned().unwrap_or_else(|| usage());
+            write_json(&out, &risk_json(&study));
+        }
+        "sharing-csv" => {
+            let out = args.get(1).cloned().unwrap_or_else(|| usage());
+            std::fs::write(&out, sharing_csv(&study)).expect("write CSV");
+            eprintln!("wrote {out}");
+        }
+        "latency" => {
+            let out = args.get(1).cloned().unwrap_or_else(|| usage());
+            let report = study.latency();
+            write_json(&out, &serde_json::to_value(&report).expect("serializes"));
+        }
+        "resilience" => {
+            let out = args.get(1).cloned().unwrap_or_else(|| usage());
+            write_json(&out, &resilience_json(&study));
+        }
+        "annotated" => {
+            let out = args.get(1).cloned().unwrap_or_else(|| usage());
+            let overlay = study.overlay(&study.campaign(Some(10_000)));
+            write_json(&out, &study.annotated_geojson(&overlay));
+        }
+        "whatif" => {
+            let out = args.get(1).cloned().unwrap_or_else(|| usage());
+            let report = study.what_if_augmented();
+            write_json(&out, &serde_json::to_value(&report).expect("serializes"));
+        }
+        "export" => {
+            let dir = args.get(1).cloned().unwrap_or_else(|| usage());
+            std::fs::create_dir_all(&dir).expect("create output directory");
+            let p = |name: &str| Path::new(&dir).join(name).to_string_lossy().into_owned();
+            write_json(&p("summary.json"), &summary_json(&study));
+            write_json(
+                &p("map.geojson"),
+                &intertubes::map::to_geojson(&study.built.map),
+            );
+            write_json(&p("risk.json"), &risk_json(&study));
+            std::fs::write(p("sharing.csv"), sharing_csv(&study)).expect("write CSV");
+            let lat = study.latency();
+            write_json(
+                &p("latency.json"),
+                &serde_json::to_value(&lat).expect("serializes"),
+            );
+            write_json(&p("resilience.json"), &resilience_json(&study));
+            let overlay = study.overlay(&study.campaign(Some(10_000)));
+            write_json(
+                &p("map-annotated.geojson"),
+                &study.annotated_geojson(&overlay),
+            );
+            let wi = study.what_if_augmented();
+            write_json(
+                &p("whatif.json"),
+                &serde_json::to_value(&wi).expect("serializes"),
+            );
+            eprintln!("exported 8 artifacts into {dir}");
+        }
+        _ => usage(),
+    }
+}
+
+fn write_json(path: &str, value: &serde_json::Value) {
+    let text = serde_json::to_string_pretty(value).expect("serializes");
+    std::fs::write(path, text).expect("write output file");
+    eprintln!("wrote {path}");
+}
+
+fn summary_json(study: &Study) -> serde_json::Value {
+    let s = intertubes::map::summarize(&study.built.map);
+    json!({
+        "seed": study.world.config.seed,
+        "nodes": s.nodes,
+        "links": s.links,
+        "conduits": s.conduits,
+        "validated_conduits": s.validated_conduits,
+        "total_km": s.total_km,
+        "hubs": s.hubs,
+        "steps": study.built.reports,
+        "paper_reference": { "nodes": 273, "links": 2411, "conduits": 542 },
+    })
+}
+
+fn risk_json(study: &Study) -> serde_json::Value {
+    let rm = study.risk_matrix();
+    json!({
+        "isps": rm.isps,
+        "shared_by_at_least": intertubes::risk::conduits_shared_by_at_least(&rm),
+        "fractions": {
+            "ge2": intertubes::risk::sharing_fraction(&rm, 2),
+            "ge3": intertubes::risk::sharing_fraction(&rm, 3),
+            "ge4": intertubes::risk::sharing_fraction(&rm, 4),
+        },
+        "ranking": intertubes::risk::isp_sharing_ranking(&rm),
+        "raw_shared": intertubes::risk::raw_shared_conduits(&rm),
+        "hamming_mean_distances": intertubes::risk::hamming_heatmap(&rm).mean_distances(),
+    })
+}
+
+fn resilience_json(study: &Study) -> serde_json::Value {
+    let rm = study.risk_matrix();
+    json!({
+        "map": intertubes::risk::map_resilience(&study.built.map),
+        "per_isp": intertubes::risk::isp_resilience(&study.built.map, &rm),
+    })
+}
+
+fn sharing_csv(study: &Study) -> String {
+    let map = &study.built.map;
+    let mut out = String::from("conduit,a,b,length_km,tenants,validated,provenance\n");
+    for (i, c) in map.conduits.iter().enumerate() {
+        out.push_str(&format!(
+            "{},{:?},{:?},{:.1},{},{},{}\n",
+            i,
+            map.nodes[c.a.index()].label,
+            map.nodes[c.b.index()].label,
+            c.geometry.length_km(),
+            c.tenant_count(),
+            c.validated,
+            match c.provenance {
+                intertubes::map::Provenance::Step1 => "step1",
+                intertubes::map::Provenance::Step3 => "step3",
+            }
+        ));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+//! Workspace-level facade for the InterTubes reproduction suite.
+//!
+//! Re-exports the [`intertubes`] crate so the root package's examples,
+//! integration tests and the `intertubes` CLI binary share one entry point.
+//! See the crate-level documentation of [`intertubes`] for the library API.
+
+pub use intertubes::*;

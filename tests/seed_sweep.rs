@@ -1,0 +1,94 @@
+//! Seed robustness: the paper's qualitative findings must hold across
+//! synthetic worlds, not just the reference seed. (The reference seed's
+//! numbers are pinned in `end_to_end.rs`; here we assert the *shape*
+//! invariants on other seeds.)
+
+use intertubes::risk::{sharing_fraction, traffic_risk};
+use intertubes::Study;
+
+fn shape_invariants(seed: u64) {
+    let study = Study::with_seed(seed);
+    let map = &study.built.map;
+
+    // Scale: the calibrated world always lands near the paper's counts.
+    assert!(
+        (450..=600).contains(&map.conduits.len()),
+        "seed {seed}: conduits {}",
+        map.conduits.len()
+    );
+    assert!(
+        (2_000..=2_800).contains(&map.link_count()),
+        "seed {seed}: links {}",
+        map.link_count()
+    );
+
+    // §4.2 sharing monotonicity and rough level.
+    let rm = study.risk_matrix();
+    let (ge2, ge3, ge4) = (
+        sharing_fraction(&rm, 2),
+        sharing_fraction(&rm, 3),
+        sharing_fraction(&rm, 4),
+    );
+    assert!(ge2 > ge3 && ge3 > ge4, "seed {seed}");
+    assert!(ge2 > 0.7, "seed {seed}: ge2 {ge2}");
+    assert!(ge4 > 0.35, "seed {seed}: ge4 {ge4}");
+
+    // Diverse domestic giants sit below backbone renters in the ranking.
+    let ranking = intertubes::risk::isp_sharing_ranking(&rm);
+    let rank = |name: &str| ranking.iter().position(|r| r.isp == name).unwrap();
+    assert!(
+        rank("EarthLink") < rank("Deutsche Telekom"),
+        "seed {seed}: EarthLink {} vs DT {}",
+        rank("EarthLink"),
+        rank("Deutsche Telekom")
+    );
+    assert!(rank("Level 3") < rank("Inteliquent"), "seed {seed}");
+
+    // §4.3: traffic overlay only raises perceived sharing.
+    let overlay = study.overlay(&study.campaign(Some(10_000)));
+    let tr = traffic_risk(map, &overlay);
+    assert!(tr.with_traffic.mean() >= tr.map_only.mean(), "seed {seed}");
+
+    // §5.1: rerouting the heavy dozen always produces positive SRR.
+    let rob = study.robustness(12);
+    let affected = rob.per_isp.iter().filter(|r| r.cases > 0).count();
+    assert!(
+        affected >= 12,
+        "seed {seed}: only {affected} providers affected"
+    );
+    assert!(
+        rob.per_isp
+            .iter()
+            .filter(|r| r.cases > 0)
+            .all(|r| r.avg_srr > 0.0),
+        "seed {seed}"
+    );
+
+    // §5.3: the CDF ordering LOS ≤ ROW and best ≤ avg per pair.
+    let lat = study.latency();
+    for p in lat.pairs.iter().take(200) {
+        assert!(
+            p.los_us <= p.row_us + 1e-6,
+            "seed {seed}: {} – {}",
+            p.a,
+            p.b
+        );
+        assert!(
+            p.best_us <= p.avg_us + 1e-6,
+            "seed {seed}: {} – {}",
+            p.a,
+            p.b
+        );
+    }
+}
+
+#[test]
+fn shapes_hold_on_seed_7() {
+    shape_invariants(7);
+}
+
+#[test]
+fn shapes_hold_on_seed_20150817() {
+    // The paper's presentation date.
+    shape_invariants(20_150_817);
+}

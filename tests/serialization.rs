@@ -1,0 +1,80 @@
+//! Serde round-trips for the public model types: a downstream user must be
+//! able to persist and reload maps, reports and configs without loss.
+
+use intertubes::{Study, StudyConfig};
+
+#[test]
+fn study_config_round_trips() {
+    let cfg = StudyConfig::default();
+    let text = serde_json::to_string(&cfg).unwrap();
+    let back: StudyConfig = serde_json::from_str(&text).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn fiber_map_round_trips_losslessly() {
+    let s = Study::reference();
+    let text = serde_json::to_string(&s.built.map).unwrap();
+    let back: intertubes::map::FiberMap = serde_json::from_str(&text).unwrap();
+    assert_eq!(back.nodes.len(), s.built.map.nodes.len());
+    assert_eq!(back.conduits.len(), s.built.map.conduits.len());
+    assert_eq!(back.link_count(), s.built.map.link_count());
+    // Spot-check a conduit in depth.
+    let a = &s.built.map.conduits[7];
+    let b = &back.conduits[7];
+    assert_eq!(a, b);
+}
+
+#[test]
+fn built_map_reports_round_trip() {
+    let s = Study::reference();
+    let text = serde_json::to_string(&s.built.reports).unwrap();
+    let back: Vec<intertubes::map::StepReport> = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, s.built.reports);
+}
+
+#[test]
+fn risk_matrix_round_trips() {
+    let s = Study::reference();
+    let rm = s.risk_matrix();
+    let text = serde_json::to_string(&rm).unwrap();
+    let back: intertubes::risk::RiskMatrix = serde_json::from_str(&text).unwrap();
+    assert_eq!(back.isps, rm.isps);
+    assert_eq!(back.shared, rm.shared);
+    assert_eq!(back.uses, rm.uses);
+}
+
+#[test]
+fn analysis_reports_serialize() {
+    let s = Study::reference();
+    // Every report type a user might archive.
+    let rob = s.robustness(4);
+    let aug = s.augmentation();
+    let lat = s.latency();
+    let overlay = s.overlay(&s.campaign(Some(2_000)));
+    for value in [
+        serde_json::to_value(&rob).unwrap(),
+        serde_json::to_value(&aug).unwrap(),
+        serde_json::to_value(&lat).unwrap(),
+        serde_json::to_value(&overlay).unwrap(),
+    ] {
+        assert!(value.is_object());
+    }
+    // Reports reload into their own types.
+    let rob2: intertubes::mitigation::RobustnessReport =
+        serde_json::from_value(serde_json::to_value(&rob).unwrap()).unwrap();
+    assert_eq!(rob2.heavy_conduits, rob.heavy_conduits);
+    let lat2: intertubes::mitigation::LatencyReport =
+        serde_json::from_value(serde_json::to_value(&lat).unwrap()).unwrap();
+    assert_eq!(lat2.pairs.len(), lat.pairs.len());
+}
+
+#[test]
+fn campaign_round_trips() {
+    let s = Study::reference();
+    let campaign = s.campaign(Some(500));
+    let text = serde_json::to_string(&campaign).unwrap();
+    let back: intertubes::probes::Campaign = serde_json::from_str(&text).unwrap();
+    assert_eq!(back.traces, campaign.traces);
+    assert_eq!(back.unrouted, campaign.unrouted);
+}
