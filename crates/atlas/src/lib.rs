@@ -42,3 +42,29 @@ pub use transport::{
     knn_pairs, CorridorEdge, TransportNetwork,
 };
 pub use world::{PublishedLink, PublishedMap, World, WorldConfig};
+
+/// Errors of the atlas layer. Raised only under the strict degradation
+/// policy; lenient validation reports and continues instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtlasError {
+    /// A transportation layer is fragmented into multiple components.
+    DisconnectedTransport {
+        /// The affected layer.
+        layer: intertubes_geo::CorridorLayer,
+        /// How many connected components it splits into.
+        components: usize,
+    },
+}
+
+impl std::fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AtlasError::DisconnectedTransport { layer, components } => write!(
+                f,
+                "{layer:?} transport layer splits into {components} components"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {}

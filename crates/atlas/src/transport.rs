@@ -51,6 +51,40 @@ impl TransportNetwork {
         self.graph.edge_refs().map(|e| e.data.length_km).sum()
     }
 
+    /// Validates the layer's connectivity with explicit degradation
+    /// control.
+    ///
+    /// A fragmented layer (missing shapefile tiles, in our synthetic world
+    /// the `disconnect-transport` fault) starves ROW snapping of
+    /// corridors. Under [`DegradationPolicy::Lenient`] stranded components
+    /// beyond the largest are counted (`"disconnected-component"`) and the
+    /// layer is used as-is — corridor lookups simply miss more pairs.
+    /// Under strict, validation aborts with
+    /// [`AtlasError::DisconnectedTransport`](crate::AtlasError). A
+    /// connected layer yields an empty report.
+    pub fn validate(
+        &self,
+        policy: intertubes_degrade::DegradationPolicy,
+    ) -> Result<intertubes_degrade::DegradationReport, crate::AtlasError> {
+        use intertubes_degrade::{DegradationAction, DegradationReport};
+        let (_, components) = intertubes_graph::connected_components(&self.graph);
+        let stranded = components.saturating_sub(1);
+        if stranded > 0 && policy.is_strict() {
+            return Err(crate::AtlasError::DisconnectedTransport {
+                layer: self.layer,
+                components,
+            });
+        }
+        let mut report = DegradationReport::new();
+        report.note(
+            "atlas.transport",
+            DegradationAction::Unvalidated,
+            "disconnected-component",
+            stranded,
+        );
+        Ok(report)
+    }
+
     /// Iterator over corridor geometries with their edge indices.
     pub fn geometries(&self) -> impl Iterator<Item = (u32, &Polyline)> {
         self.graph.edge_refs().map(|e| (e.id.0, &e.data.geometry))

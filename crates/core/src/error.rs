@@ -1,0 +1,123 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Every layer defines its own narrow error type (`GeoError`,
+//! `GraphError`, `AtlasError`, `RecordsError`, `MapError`, `ProbeError`,
+//! `RiskError`); [`IntertubesError`] unifies them at the facade so callers
+//! handle one type and can still match on the failing layer. All of them
+//! surface only under [`DegradationPolicy::Strict`]
+//! (lenient runs degrade and report instead), except [`Plan`] and [`Io`],
+//! which are usage errors independent of the policy.
+//!
+//! [`DegradationPolicy::Strict`]: intertubes_degrade::DegradationPolicy
+//! [`Plan`]: IntertubesError::Plan
+//! [`Io`]: IntertubesError::Io
+
+use intertubes_atlas::AtlasError;
+use intertubes_geo::GeoError;
+use intertubes_graph::GraphError;
+use intertubes_map::MapError;
+use intertubes_probes::ProbeError;
+use intertubes_records::RecordsError;
+use intertubes_risk::RiskError;
+
+/// Any error of the reproduction, tagged by the layer that raised it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntertubesError {
+    /// Geometry layer (coordinates, polylines, grids).
+    Geo(GeoError),
+    /// Graph layer (shortest paths, cuts).
+    Graph(GraphError),
+    /// Atlas layer (world, transport networks).
+    Atlas(AtlasError),
+    /// Public-records layer (corpus sanitization, document lookup).
+    Records(RecordsError),
+    /// Map-construction layer (input sanitization, pipeline).
+    Map(MapError),
+    /// Probe layer (campaign overlay).
+    Probe(ProbeError),
+    /// Risk layer (matrix construction).
+    Risk(RiskError),
+    /// A fault plan failed to parse.
+    Plan(String),
+    /// A file could not be read or written.
+    Io(String),
+}
+
+impl std::fmt::Display for IntertubesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntertubesError::Geo(e) => write!(f, "geo: {e}"),
+            IntertubesError::Graph(e) => write!(f, "graph: {e}"),
+            IntertubesError::Atlas(e) => write!(f, "atlas: {e}"),
+            IntertubesError::Records(e) => write!(f, "records: {e}"),
+            IntertubesError::Map(e) => write!(f, "map: {e}"),
+            IntertubesError::Probe(e) => write!(f, "probes: {e}"),
+            IntertubesError::Risk(e) => write!(f, "risk: {e}"),
+            IntertubesError::Plan(msg) => write!(f, "fault plan: {msg}"),
+            IntertubesError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IntertubesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IntertubesError::Geo(e) => Some(e),
+            IntertubesError::Graph(e) => Some(e),
+            IntertubesError::Atlas(e) => Some(e),
+            IntertubesError::Records(e) => Some(e),
+            IntertubesError::Map(e) => Some(e),
+            IntertubesError::Probe(e) => Some(e),
+            IntertubesError::Risk(e) => Some(e),
+            IntertubesError::Plan(_) | IntertubesError::Io(_) => None,
+        }
+    }
+}
+
+impl From<GeoError> for IntertubesError {
+    fn from(e: GeoError) -> Self {
+        IntertubesError::Geo(e)
+    }
+}
+
+impl From<GraphError> for IntertubesError {
+    fn from(e: GraphError) -> Self {
+        IntertubesError::Graph(e)
+    }
+}
+
+impl From<AtlasError> for IntertubesError {
+    fn from(e: AtlasError) -> Self {
+        IntertubesError::Atlas(e)
+    }
+}
+
+impl From<RecordsError> for IntertubesError {
+    fn from(e: RecordsError) -> Self {
+        IntertubesError::Records(e)
+    }
+}
+
+impl From<MapError> for IntertubesError {
+    fn from(e: MapError) -> Self {
+        IntertubesError::Map(e)
+    }
+}
+
+impl From<ProbeError> for IntertubesError {
+    fn from(e: ProbeError) -> Self {
+        IntertubesError::Probe(e)
+    }
+}
+
+impl From<RiskError> for IntertubesError {
+    fn from(e: RiskError) -> Self {
+        IntertubesError::Risk(e)
+    }
+}
+
+impl From<serde_json::Error> for IntertubesError {
+    fn from(e: serde_json::Error) -> Self {
+        IntertubesError::Plan(e.to_string())
+    }
+}

@@ -34,11 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod study;
 
+pub use error::IntertubesError;
 pub use study::{Study, StudyConfig};
 
 pub use intertubes_atlas as atlas;
+pub use intertubes_degrade as degrade;
+pub use intertubes_faults as faults;
 pub use intertubes_geo as geo;
 pub use intertubes_graph as graph;
 pub use intertubes_map as map;

@@ -1,16 +1,24 @@
 //! The high-level `Study` API: one object that runs the paper end to end.
 
-use intertubes_atlas::{World, WorldConfig, MAPPED_ISPS};
+use intertubes_atlas::{PublishedMap, World, WorldConfig, MAPPED_ISPS};
+use intertubes_degrade::{DegradationPolicy, DegradationReport};
+use intertubes_faults::{
+    inject_corpus, inject_published_maps, inject_transport, FaultPlan, InjectionLedger,
+};
 use intertubes_geo::OverlapParams;
-use intertubes_map::{build_map, BuiltMap, ColocationReport, PipelineConfig};
+use intertubes_map::{build_map_checked, BuiltMap, ColocationReport, PipelineConfig};
 use intertubes_mitigation::{
     augment, heaviest_conduits, latency_study, AugmentationConfig, AugmentationReport,
     LatencyConfig, LatencyReport, RobustnessReport,
 };
-use intertubes_probes::{overlay_campaign, run_campaign, Campaign, Overlay, ProbeConfig};
-use intertubes_records::{generate_corpus, Corpus, CorpusConfig};
+use intertubes_probes::{
+    overlay_campaign, overlay_campaign_checked, run_campaign, Campaign, Overlay, ProbeConfig,
+};
+use intertubes_records::{generate_corpus, sanitize_corpus, Corpus, CorpusConfig};
 use intertubes_risk::RiskMatrix;
 use serde::{Deserialize, Serialize};
+
+use crate::IntertubesError;
 
 /// Every knob of the reproduction in one place.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -29,6 +37,8 @@ pub struct StudyConfig {
     pub latency: LatencyConfig,
     /// Augmentation parameters (§5.2).
     pub augmentation: AugmentationConfig,
+    /// How pipeline stages respond to malformed input (default: lenient).
+    pub policy: DegradationPolicy,
 }
 
 /// A fully-initialized reproduction: ground-truth world, records corpus,
@@ -48,24 +58,91 @@ pub struct Study {
 impl Study {
     /// Builds a study: generates the world and corpus, publishes the
     /// provider maps, and runs the four-step construction pipeline.
+    ///
+    /// Equivalent to [`Study::new_checked`] under the lenient policy,
+    /// with the degradation report discarded.
     pub fn new(config: StudyConfig) -> Study {
+        let mut config = config;
+        config.policy = DegradationPolicy::Lenient;
+        match Study::new_checked(config) {
+            Ok((study, _)) => study,
+            // The lenient policy never returns an error by construction.
+            Err(e) => unreachable!("lenient study build cannot fail: {e}"),
+        }
+    }
+
+    /// Builds a study with explicit degradation control.
+    ///
+    /// The configured [`StudyConfig::policy`] governs every stage:
+    /// transport-layer validation, corpus sanitization, and map
+    /// construction. Under [`DegradationPolicy::Lenient`] dirty input is
+    /// absorbed and counted in the returned [`DegradationReport`]; under
+    /// [`DegradationPolicy::Strict`] the first problem aborts with an
+    /// [`IntertubesError`] naming the failing layer. Clean input yields a
+    /// study identical to [`Study::new`]'s and an empty report.
+    pub fn new_checked(
+        config: StudyConfig,
+    ) -> Result<(Study, DegradationReport), IntertubesError> {
         let world = World::generate(config.world);
         let corpus = generate_corpus(&world, &config.corpus);
         let published = world.publish_maps();
-        let built = build_map(
+        Study::from_parts(config, world, corpus, published)
+    }
+
+    /// Builds a study with faults injected into every pipeline input, then
+    /// degrades (or fails, under strict) exactly as [`Study::new_checked`]
+    /// would on naturally dirty data.
+    ///
+    /// Returns the study, the degradation report, and the injection ledger
+    /// recording how many faults of each family actually landed — tests
+    /// match report counts against ledger counts.
+    pub fn new_faulted(
+        config: StudyConfig,
+        plan: &FaultPlan,
+    ) -> Result<(Study, DegradationReport, InjectionLedger), IntertubesError> {
+        let mut world = World::generate(config.world);
+        let corpus = generate_corpus(&world, &config.corpus);
+        let mut published = world.publish_maps();
+        let mut ledger = InjectionLedger::new();
+        inject_published_maps(&mut published, plan, &mut ledger);
+        let corpus = inject_corpus(&corpus, plan, &mut ledger);
+        inject_transport(&mut world.roads, plan, &mut ledger);
+        let (study, report) = Study::from_parts(config, world, corpus, published)?;
+        Ok((study, report, ledger))
+    }
+
+    fn from_parts(
+        config: StudyConfig,
+        world: World,
+        corpus: Corpus,
+        published: Vec<PublishedMap>,
+    ) -> Result<(Study, DegradationReport), IntertubesError> {
+        let policy = config.policy;
+        // Only the road layer is validated: its connectedness is a
+        // construction invariant (Gabriel graph ∪ 2-NN), whereas the rail
+        // layer is a sampled corridor subset and fragments naturally.
+        let mut report = world.roads.validate(policy)?;
+        let (corpus, corpus_report) = sanitize_corpus(&corpus, policy)?;
+        report.merge(corpus_report);
+        let (built, map_report) = build_map_checked(
             &published,
             &corpus,
             &world.cities,
             &world.roads,
             &world.rails,
             &config.pipeline,
-        );
-        Study {
-            config,
-            world,
-            corpus,
-            built,
-        }
+            policy,
+        )?;
+        report.merge(map_report);
+        Ok((
+            Study {
+                config,
+                world,
+                corpus,
+                built,
+            },
+            report,
+        ))
     }
 
     /// The reference study (default config, seed 1504).
@@ -107,6 +184,30 @@ impl Study {
     /// Overlays a campaign onto the constructed map (§4.3).
     pub fn overlay(&self, campaign: &Campaign) -> Overlay {
         overlay_campaign(&self.world, &self.built.map, campaign)
+    }
+
+    /// Overlays a campaign with the study's degradation policy, returning
+    /// the per-stage report alongside the overlay.
+    pub fn overlay_checked(
+        &self,
+        campaign: &Campaign,
+    ) -> Result<(Overlay, DegradationReport), IntertubesError> {
+        let (overlay, report) =
+            overlay_campaign_checked(&self.world, &self.built.map, campaign, self.config.policy)?;
+        Ok((overlay, report))
+    }
+
+    /// The risk matrix with the study's degradation policy (duplicate
+    /// provider names repaired or rejected).
+    pub fn risk_matrix_checked(
+        &self,
+    ) -> Result<(RiskMatrix, DegradationReport), IntertubesError> {
+        let (rm, report) = RiskMatrix::build_checked(
+            &self.built.map,
+            &self.mapped_isp_names(),
+            self.config.policy,
+        )?;
+        Ok((rm, report))
     }
 
     /// The §3 co-location analysis (Fig. 4 / Fig. 5).

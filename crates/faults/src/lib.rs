@@ -1,0 +1,871 @@
+//! Seeded, deterministic fault injection for every InterTubes pipeline
+//! input.
+//!
+//! The paper's map construction is only credible because it survives dirty
+//! inputs: mis-digitized ISP maps, contradictory public records, noisy
+//! traceroutes. This crate makes that robustness *testable* by perturbing
+//! each input artifact in controlled, counted ways:
+//!
+//! * published ISP maps — NaN / out-of-range coordinates, dropped links,
+//!   duplicated links, stripped geometry ([`inject_published_maps`]);
+//! * the public-records corpus — corrupted (unresolvable) documents and
+//!   contradictory right-of-way claims ([`inject_corpus`]);
+//! * traceroute campaigns — truncated traces, mis-geolocated hops,
+//!   out-of-range endpoint city ids ([`inject_campaign`]);
+//! * transport-layer corridor graphs — deleted corridors, up to full
+//!   disconnection ([`inject_transport`]).
+//!
+//! Faults are described by a [`FaultPlan`] — a small serde-JSON DSL
+//! composing [`FaultSpec`]s — and every injector records exactly what it
+//! did in an [`InjectionLedger`], so integration tests can assert that the
+//! pipeline's `DegradationReport` accounts for every injected fault.
+//!
+//! Everything is a pure function of `(input, plan)`: each fault family
+//! derives its RNG stream from the plan seed and a per-family constant, so
+//! adding one family to a plan never re-randomizes another.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use intertubes_atlas::{CityId, CorridorEdge, PublishedLink, PublishedMap, TransportNetwork};
+use intertubes_geo::{GeoPoint, Polyline};
+use intertubes_graph::MultiGraph;
+use intertubes_probes::Campaign;
+use intertubes_records::{Corpus, Document, RowHint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Marker prepended to city labels by [`FaultFamily::CorruptDocuments`].
+///
+/// The replacement character cannot appear in a generated `"City, ST"`
+/// label, so sanitization can detect corrupted documents exactly.
+pub const CORRUPT_MARKER: char = '\u{FFFD}';
+
+/// One family of input perturbation. Unit variants keep the JSON DSL
+/// trivial: `{"family": "DropLinks", "rate": 0.2}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultFamily {
+    /// Replace a geometry vertex of a published link with NaN coordinates.
+    NanCoordinates,
+    /// Replace a geometry vertex with coordinates outside WGS84 ranges.
+    OutOfRangeCoordinates,
+    /// Remove published links entirely (silent map incompleteness).
+    DropLinks,
+    /// Insert a bitwise-identical copy of a geocoded published link.
+    DuplicateLinks,
+    /// Strip the geometry from links of geocoded maps.
+    StripGeometry,
+    /// Garble a document's city labels into unresolvable strings.
+    CorruptDocuments,
+    /// Add a document contradicting an existing right-of-way hint.
+    ContradictoryDocuments,
+    /// Drop the tail of a traceroute's hop list.
+    TruncateTraces,
+    /// Re-geolocate a mid-trace hop to a random (wrong but valid) city.
+    MisgeolocateHops,
+    /// Set a traceroute endpoint to an out-of-range [`CityId`].
+    CorruptTraceEndpoints,
+    /// Delete transport-layer corridors, disconnecting the graph.
+    DisconnectTransport,
+}
+
+impl FaultFamily {
+    /// All families, in declaration order.
+    pub const ALL: [FaultFamily; 11] = [
+        FaultFamily::NanCoordinates,
+        FaultFamily::OutOfRangeCoordinates,
+        FaultFamily::DropLinks,
+        FaultFamily::DuplicateLinks,
+        FaultFamily::StripGeometry,
+        FaultFamily::CorruptDocuments,
+        FaultFamily::ContradictoryDocuments,
+        FaultFamily::TruncateTraces,
+        FaultFamily::MisgeolocateHops,
+        FaultFamily::CorruptTraceEndpoints,
+        FaultFamily::DisconnectTransport,
+    ];
+
+    /// Stable label used in ledger rendering and test diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultFamily::NanCoordinates => "nan-coordinates",
+            FaultFamily::OutOfRangeCoordinates => "out-of-range-coordinates",
+            FaultFamily::DropLinks => "drop-links",
+            FaultFamily::DuplicateLinks => "duplicate-links",
+            FaultFamily::StripGeometry => "strip-geometry",
+            FaultFamily::CorruptDocuments => "corrupt-documents",
+            FaultFamily::ContradictoryDocuments => "contradictory-documents",
+            FaultFamily::TruncateTraces => "truncate-traces",
+            FaultFamily::MisgeolocateHops => "misgeolocate-hops",
+            FaultFamily::CorruptTraceEndpoints => "corrupt-trace-endpoints",
+            FaultFamily::DisconnectTransport => "disconnect-transport",
+        }
+    }
+
+    /// Per-family RNG stream constant: keeps families independent under a
+    /// shared plan seed.
+    fn stream(self) -> u64 {
+        match self {
+            FaultFamily::NanCoordinates => 0x11,
+            FaultFamily::OutOfRangeCoordinates => 0x22,
+            FaultFamily::DropLinks => 0x33,
+            FaultFamily::DuplicateLinks => 0x44,
+            FaultFamily::StripGeometry => 0x55,
+            FaultFamily::CorruptDocuments => 0x66,
+            FaultFamily::ContradictoryDocuments => 0x77,
+            FaultFamily::TruncateTraces => 0x88,
+            FaultFamily::MisgeolocateHops => 0x99,
+            FaultFamily::CorruptTraceEndpoints => 0xAA,
+            FaultFamily::DisconnectTransport => 0xBB,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fault family at a given intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Which perturbation to apply.
+    pub family: FaultFamily,
+    /// Per-item probability in `[0, 1]` (clamped on use). For
+    /// [`FaultFamily::DisconnectTransport`] this is the fraction of
+    /// corridors deleted.
+    pub rate: f64,
+}
+
+/// A composed fault scenario: a seed plus a list of [`FaultSpec`]s.
+///
+/// Round-trips through JSON (`{"seed": 7, "faults": [{"family":
+/// "DropLinks", "rate": 0.25}]}`), which is what the CLI's
+/// `--faults <plan.json>` flag parses.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Base RNG seed; each family derives its own stream from it.
+    pub seed: u64,
+    /// The perturbations to apply. Order does not matter: injectors pick
+    /// the matching specs per family.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty (no-fault) plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builder: appends one fault spec.
+    pub fn with(mut self, family: FaultFamily, rate: f64) -> Self {
+        self.faults.push(FaultSpec { family, rate });
+        self
+    }
+
+    /// Whether the plan perturbs anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.iter().all(|f| f.rate <= 0.0)
+    }
+
+    /// The effective rate for `family`: sum of matching specs, clamped to
+    /// `[0, 1]`. Zero when the family is absent.
+    pub fn rate(&self, family: FaultFamily) -> f64 {
+        let sum: f64 = self
+            .faults
+            .iter()
+            .filter(|f| f.family == family)
+            .map(|f| f.rate)
+            .sum();
+        sum.clamp(0.0, 1.0)
+    }
+
+    /// Seeded RNG for one family's stream.
+    fn rng(&self, family: FaultFamily) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ family.stream().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Parses a plan from JSON text.
+    pub fn from_json(text: &str) -> Result<FaultPlan, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Serializes the plan to pretty JSON (the CLI's scenario file format).
+    pub fn to_json(&self) -> String {
+        // Derived serialization of a plain-data struct cannot fail; the
+        // fallback is an empty plan rather than a panic path.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{\"seed\":0,\"faults\":[]}".into())
+    }
+
+    /// Named built-in scenarios, used by tests and documented in
+    /// EXPERIMENTS.md. Each exercises one input artifact; `"everything"`
+    /// composes all families at once.
+    pub fn built_in_scenarios() -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            ("clean", FaultPlan::new(2015)),
+            (
+                "dirty-maps",
+                FaultPlan::new(2015)
+                    .with(FaultFamily::NanCoordinates, 0.05)
+                    .with(FaultFamily::OutOfRangeCoordinates, 0.05)
+                    .with(FaultFamily::DropLinks, 0.10)
+                    .with(FaultFamily::DuplicateLinks, 0.10)
+                    .with(FaultFamily::StripGeometry, 0.08),
+            ),
+            (
+                "dirty-records",
+                FaultPlan::new(2015)
+                    .with(FaultFamily::CorruptDocuments, 0.10)
+                    .with(FaultFamily::ContradictoryDocuments, 0.08),
+            ),
+            (
+                "dirty-probes",
+                FaultPlan::new(2015)
+                    .with(FaultFamily::TruncateTraces, 0.15)
+                    .with(FaultFamily::MisgeolocateHops, 0.05)
+                    .with(FaultFamily::CorruptTraceEndpoints, 0.02),
+            ),
+            (
+                "dirty-transport",
+                FaultPlan::new(2015).with(FaultFamily::DisconnectTransport, 0.30),
+            ),
+            (
+                "everything",
+                FaultPlan::new(2015)
+                    .with(FaultFamily::NanCoordinates, 0.04)
+                    .with(FaultFamily::OutOfRangeCoordinates, 0.04)
+                    .with(FaultFamily::DropLinks, 0.08)
+                    .with(FaultFamily::DuplicateLinks, 0.08)
+                    .with(FaultFamily::StripGeometry, 0.06)
+                    .with(FaultFamily::CorruptDocuments, 0.08)
+                    .with(FaultFamily::ContradictoryDocuments, 0.06)
+                    .with(FaultFamily::TruncateTraces, 0.12)
+                    .with(FaultFamily::MisgeolocateHops, 0.04)
+                    .with(FaultFamily::CorruptTraceEndpoints, 0.02)
+                    .with(FaultFamily::DisconnectTransport, 0.20),
+            ),
+        ]
+    }
+}
+
+/// Exact record of what an injector did: per-family counts of perturbed
+/// items. Integration tests compare these against the pipeline's
+/// `DegradationReport`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InjectionLedger {
+    /// `(family, items touched)`, in family declaration order, families
+    /// with zero touches omitted.
+    pub counts: Vec<(FaultFamily, usize)>,
+}
+
+impl InjectionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` items perturbed by `family` (no-op when `n == 0`).
+    pub fn add(&mut self, family: FaultFamily, n: usize) {
+        if n == 0 {
+            return;
+        }
+        for entry in &mut self.counts {
+            if entry.0 == family {
+                entry.1 += n;
+                return;
+            }
+        }
+        self.counts.push((family, n));
+        self.counts.sort_by_key(|e| e.0);
+    }
+
+    /// Items perturbed by `family`.
+    pub fn count(&self, family: FaultFamily) -> usize {
+        self.counts
+            .iter()
+            .find(|e| e.0 == family)
+            .map_or(0, |e| e.1)
+    }
+
+    /// Total perturbed items across all families.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|e| e.1).sum()
+    }
+
+    /// Folds another ledger into this one.
+    pub fn merge(&mut self, other: &InjectionLedger) {
+        for &(family, n) in &other.counts {
+            self.add(family, n);
+        }
+    }
+
+    /// One-line-per-family rendering for test diagnostics.
+    pub fn render(&self) -> String {
+        if self.counts.is_empty() {
+            return "injection ledger: clean".to_string();
+        }
+        let mut out = String::from("injection ledger:");
+        for &(family, n) in &self.counts {
+            out.push_str(&format!("\n  {} x{}", family.label(), n));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Published-map injectors
+// ---------------------------------------------------------------------------
+
+/// Perturbs published ISP maps in place according to `plan`.
+///
+/// Families applied (each from its own RNG stream, in a fixed order so the
+/// result is deterministic): [`FaultFamily::NanCoordinates`],
+/// [`FaultFamily::OutOfRangeCoordinates`], [`FaultFamily::StripGeometry`],
+/// [`FaultFamily::DuplicateLinks`], [`FaultFamily::DropLinks`].
+pub fn inject_published_maps(
+    maps: &mut Vec<PublishedMap>,
+    plan: &FaultPlan,
+    ledger: &mut InjectionLedger,
+) {
+    poison_coordinates(maps, plan, ledger, FaultFamily::NanCoordinates);
+    poison_coordinates(maps, plan, ledger, FaultFamily::OutOfRangeCoordinates);
+    strip_geometry(maps, plan, ledger);
+    duplicate_links(maps, plan, ledger);
+    drop_links(maps, plan, ledger);
+}
+
+/// Rewrites one vertex of selected link geometries to an invalid
+/// coordinate (NaN or out-of-range, depending on `family`).
+fn poison_coordinates(
+    maps: &mut [PublishedMap],
+    plan: &FaultPlan,
+    ledger: &mut InjectionLedger,
+    family: FaultFamily,
+) {
+    let rate = plan.rate(family);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(family);
+    let mut touched = 0;
+    for map in maps.iter_mut() {
+        for link in &mut map.links {
+            let Some(geom) = &link.geometry else { continue };
+            if !rng.gen_bool(rate) {
+                continue;
+            }
+            let mut pts = geom.points().to_vec();
+            let idx = rng.gen_range(0..pts.len());
+            pts[idx] = match family {
+                FaultFamily::NanCoordinates => GeoPoint::new_unchecked(f64::NAN, f64::NAN),
+                _ => {
+                    // Out of range but finite: latitude beyond the pole,
+                    // longitude beyond the date line.
+                    let lat = 90.0 + rng.gen_range(5.0f64..400.0);
+                    let lon = -(180.0 + rng.gen_range(5.0f64..400.0));
+                    GeoPoint::new_unchecked(lat, lon)
+                }
+            };
+            if let Ok(poisoned) = Polyline::new(pts) {
+                link.geometry = Some(poisoned);
+                touched += 1;
+            }
+        }
+    }
+    ledger.add(family, touched);
+}
+
+/// Removes the geometry from selected links of geocoded maps.
+fn strip_geometry(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut InjectionLedger) {
+    let rate = plan.rate(FaultFamily::StripGeometry);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::StripGeometry);
+    let mut touched = 0;
+    for map in maps.iter_mut() {
+        for link in &mut map.links {
+            if link.geometry.is_some() && rng.gen_bool(rate) {
+                link.geometry = None;
+                touched += 1;
+            }
+        }
+    }
+    ledger.add(FaultFamily::StripGeometry, touched);
+}
+
+/// Inserts bitwise-identical copies of selected geocoded links.
+///
+/// Only links *with* geometry are duplicated: an identical copy of a
+/// geometry-bearing link is unambiguously redundant (digitization noise
+/// makes natural bitwise collisions impossible), so the pipeline can
+/// repair these without ever touching legitimate multi-conduit
+/// publications in PoP-only maps.
+fn duplicate_links(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut InjectionLedger) {
+    let rate = plan.rate(FaultFamily::DuplicateLinks);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::DuplicateLinks);
+    let mut touched = 0;
+    for map in maps.iter_mut() {
+        let mut copies: Vec<PublishedLink> = Vec::new();
+        for link in &map.links {
+            if link.geometry.is_some() && rng.gen_bool(rate) {
+                copies.push(link.clone());
+            }
+        }
+        touched += copies.len();
+        map.links.extend(copies);
+    }
+    ledger.add(FaultFamily::DuplicateLinks, touched);
+}
+
+/// Deletes selected links outright (the map is silently incomplete).
+fn drop_links(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut InjectionLedger) {
+    let rate = plan.rate(FaultFamily::DropLinks);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::DropLinks);
+    let mut touched = 0;
+    for map in maps.iter_mut() {
+        map.links.retain(|_| {
+            if rng.gen_bool(rate) {
+                touched += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    ledger.add(FaultFamily::DropLinks, touched);
+}
+
+// ---------------------------------------------------------------------------
+// Records-corpus injectors
+// ---------------------------------------------------------------------------
+
+/// Perturbs the public-records corpus according to `plan`, returning a
+/// freshly indexed corpus (the inverted index is rebuilt so searches see
+/// the perturbed text).
+pub fn inject_corpus(corpus: &Corpus, plan: &FaultPlan, ledger: &mut InjectionLedger) -> Corpus {
+    let mut docs: Vec<Document> = corpus.docs().to_vec();
+    corrupt_documents(&mut docs, plan, ledger);
+    contradict_documents(&mut docs, plan, ledger);
+    Corpus::from_documents(docs)
+}
+
+/// Garbles the city labels (and body text) of selected documents so that
+/// no city resolves; the document becomes noise a sanitizer must detect.
+fn corrupt_documents(docs: &mut [Document], plan: &FaultPlan, ledger: &mut InjectionLedger) {
+    let rate = plan.rate(FaultFamily::CorruptDocuments);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::CorruptDocuments);
+    let mut touched = 0;
+    for doc in docs.iter_mut() {
+        if doc.cities.is_empty() || !rng.gen_bool(rate) {
+            continue;
+        }
+        for city in &mut doc.cities {
+            // Replace the "City, ST" label with marker + scrambled text:
+            // the marker makes detection exact, the scramble (comma
+            // removed) defeats naive label parsing too.
+            let scrambled: String = city
+                .chars()
+                .rev()
+                .filter(|c| *c != ',')
+                .collect();
+            *city = format!("{CORRUPT_MARKER}{scrambled}");
+        }
+        doc.body = format!("{CORRUPT_MARKER} {}", doc.body);
+        touched += 1;
+    }
+    ledger.add(FaultFamily::CorruptDocuments, touched);
+}
+
+/// Appends documents that contradict an existing right-of-way hint: the
+/// new document names the same city pair but claims a different
+/// right-of-way type.
+fn contradict_documents(docs: &mut Vec<Document>, plan: &FaultPlan, ledger: &mut InjectionLedger) {
+    let rate = plan.rate(FaultFamily::ContradictoryDocuments);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::ContradictoryDocuments);
+    let mut added: Vec<Document> = Vec::new();
+    let mut next_id = docs.iter().map(|d| d.id.0).max().map_or(0, |m| m + 1);
+    for doc in docs.iter() {
+        let Some(row) = doc.row else { continue };
+        // Never forge from a corrupted document: its city labels are
+        // gibberish, and coupling the two families would make the
+        // per-family ledger counts ambiguous.
+        if doc.cities.len() < 2
+            || doc.cities.iter().any(|c| c.starts_with(CORRUPT_MARKER))
+            || !rng.gen_bool(rate)
+        {
+            continue;
+        }
+        let conflicting = match row {
+            RowHint::Road => RowHint::Rail,
+            RowHint::Rail => RowHint::Pipeline,
+            RowHint::Pipeline => RowHint::Road,
+        };
+        let mut forged = doc.clone();
+        forged.id = intertubes_records::DocId(next_id);
+        next_id += 1;
+        forged.row = Some(conflicting);
+        forged.title = format!("Amendment re {}", doc.title);
+        forged.body = format!(
+            "{} Corrected filing: the conduit follows a {:?} right-of-way.",
+            doc.body, conflicting
+        );
+        added.push(forged);
+    }
+    ledger.add(FaultFamily::ContradictoryDocuments, added.len());
+    docs.extend(added);
+}
+
+// ---------------------------------------------------------------------------
+// Traceroute-campaign injectors
+// ---------------------------------------------------------------------------
+
+/// Perturbs a traceroute campaign in place according to `plan`.
+///
+/// `city_count` is the size of the world's city table; it bounds valid
+/// [`CityId`]s for mis-geolocation and defines "out of range" for endpoint
+/// corruption.
+pub fn inject_campaign(
+    campaign: &mut Campaign,
+    city_count: usize,
+    plan: &FaultPlan,
+    ledger: &mut InjectionLedger,
+) {
+    truncate_traces(campaign, plan, ledger);
+    misgeolocate_hops(campaign, city_count, plan, ledger);
+    corrupt_trace_endpoints(campaign, city_count, plan, ledger);
+}
+
+/// Drops the tail of selected traces, as if the probe timed out mid-path.
+/// Traces may end up with zero hops; the overlay must tolerate that.
+fn truncate_traces(campaign: &mut Campaign, plan: &FaultPlan, ledger: &mut InjectionLedger) {
+    let rate = plan.rate(FaultFamily::TruncateTraces);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::TruncateTraces);
+    let mut touched = 0;
+    for trace in &mut campaign.traces {
+        if trace.hops.is_empty() || !rng.gen_bool(rate) {
+            continue;
+        }
+        let keep = rng.gen_range(0..trace.hops.len());
+        trace.hops.truncate(keep);
+        touched += 1;
+    }
+    ledger.add(FaultFamily::TruncateTraces, touched);
+}
+
+/// Re-geolocates selected hops to a random *valid but wrong* city: the
+/// hardest fault to detect, modeling bad IP-geolocation databases.
+fn misgeolocate_hops(
+    campaign: &mut Campaign,
+    city_count: usize,
+    plan: &FaultPlan,
+    ledger: &mut InjectionLedger,
+) {
+    let rate = plan.rate(FaultFamily::MisgeolocateHops);
+    if rate <= 0.0 || city_count == 0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::MisgeolocateHops);
+    let mut touched = 0;
+    for trace in &mut campaign.traces {
+        for hop in &mut trace.hops {
+            let Some(city) = hop.city else { continue };
+            if !rng.gen_bool(rate) {
+                continue;
+            }
+            let mut wrong = CityId(rng.gen_range(0..city_count) as u32);
+            if wrong == city {
+                wrong = CityId((wrong.0 + 1) % city_count as u32);
+            }
+            hop.city = Some(wrong);
+            touched += 1;
+        }
+    }
+    ledger.add(FaultFamily::MisgeolocateHops, touched);
+}
+
+/// Sets the `src` or `dst` of selected traces to an out-of-range
+/// [`CityId`], modeling a corrupted geolocation feed. Naive array indexing
+/// on these panics; the hardened overlay must drop them instead.
+fn corrupt_trace_endpoints(
+    campaign: &mut Campaign,
+    city_count: usize,
+    plan: &FaultPlan,
+    ledger: &mut InjectionLedger,
+) {
+    let rate = plan.rate(FaultFamily::CorruptTraceEndpoints);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::CorruptTraceEndpoints);
+    let mut touched = 0;
+    for trace in &mut campaign.traces {
+        if !rng.gen_bool(rate) {
+            continue;
+        }
+        let bogus = CityId((city_count + rng.gen_range(1..1000usize)) as u32);
+        if rng.gen_bool(0.5) {
+            trace.src = bogus;
+        } else {
+            trace.dst = bogus;
+        }
+        touched += 1;
+    }
+    ledger.add(FaultFamily::CorruptTraceEndpoints, touched);
+}
+
+// ---------------------------------------------------------------------------
+// Transport-layer injector
+// ---------------------------------------------------------------------------
+
+/// Deletes a `rate` fraction of corridors from a transport layer,
+/// rebuilding the graph from the surviving edge set (the corridor graph
+/// has no removal API — by design, its normal lifecycle is append-only).
+///
+/// At moderate rates this disconnects the graph; consumers that assume a
+/// connected corridor layer must degrade instead of panic.
+pub fn inject_transport(
+    net: &mut TransportNetwork,
+    plan: &FaultPlan,
+    ledger: &mut InjectionLedger,
+) {
+    let rate = plan.rate(FaultFamily::DisconnectTransport);
+    if rate <= 0.0 {
+        return;
+    }
+    let mut rng = plan.rng(FaultFamily::DisconnectTransport);
+    let mut touched = 0;
+    let mut rebuilt: MultiGraph<CityId, CorridorEdge> = MultiGraph::new();
+    for node in net.graph.node_ids() {
+        rebuilt.add_node(*net.graph.node(node));
+    }
+    for edge in net.graph.edge_ids() {
+        if rng.gen_bool(rate) {
+            touched += 1;
+            continue;
+        }
+        let (a, b) = net.graph.endpoints(edge);
+        rebuilt.add_edge(a, b, net.graph.edge(edge).clone());
+    }
+    net.graph = rebuilt;
+    ledger.add(FaultFamily::DisconnectTransport, touched);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_maps() -> Vec<PublishedMap> {
+        let geom = |a: (f64, f64), b: (f64, f64)| {
+            Polyline::straight(
+                GeoPoint::new_unchecked(a.0, a.1),
+                GeoPoint::new_unchecked(b.0, b.1),
+            )
+        };
+        vec![PublishedMap {
+            isp: "TestNet".to_string(),
+            kind: intertubes_atlas::MapKind::Geocoded,
+            links: (0..40)
+                .map(|i| PublishedLink {
+                    a: format!("City{i}, AA"),
+                    b: format!("City{}, BB", i + 1),
+                    geometry: Some(geom(
+                        (30.0 + i as f64 * 0.1, -100.0),
+                        (31.0 + i as f64 * 0.1, -99.0),
+                    )),
+                })
+                .collect(),
+        }]
+    }
+
+    #[test]
+    fn plan_json_round_trip() {
+        let plan = FaultPlan::new(42)
+            .with(FaultFamily::DropLinks, 0.25)
+            .with(FaultFamily::CorruptDocuments, 0.1);
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.rate(FaultFamily::DropLinks), 0.25);
+        assert_eq!(back.rate(FaultFamily::NanCoordinates), 0.0);
+    }
+
+    #[test]
+    fn plan_rate_clamps_and_sums() {
+        let plan = FaultPlan::new(1)
+            .with(FaultFamily::DropLinks, 0.7)
+            .with(FaultFamily::DropLinks, 0.6);
+        assert_eq!(plan.rate(FaultFamily::DropLinks), 1.0);
+        assert!(FaultPlan::new(1).with(FaultFamily::DropLinks, -1.0).is_empty());
+    }
+
+    #[test]
+    fn map_injection_is_deterministic_and_counted() {
+        let plan = FaultPlan::new(9)
+            .with(FaultFamily::NanCoordinates, 0.3)
+            .with(FaultFamily::DropLinks, 0.3)
+            .with(FaultFamily::DuplicateLinks, 0.3)
+            .with(FaultFamily::StripGeometry, 0.3);
+        let mut a = sample_maps();
+        let mut b = sample_maps();
+        let (mut la, mut lb) = (InjectionLedger::new(), InjectionLedger::new());
+        inject_published_maps(&mut a, &plan, &mut la);
+        inject_published_maps(&mut b, &plan, &mut lb);
+        // Debug-compare: PartialEq would report NaN vertices as unequal.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(la, lb);
+        assert!(la.total() > 0);
+    }
+
+    #[test]
+    fn single_family_counts_are_exact() {
+        // Counting by inspection only works one family at a time: composed
+        // families may drop or strip a link another family just poisoned.
+        let mut maps = sample_maps();
+        let mut ledger = InjectionLedger::new();
+        let plan = FaultPlan::new(9).with(FaultFamily::NanCoordinates, 0.3);
+        inject_published_maps(&mut maps, &plan, &mut ledger);
+        let nan_links = maps[0]
+            .links
+            .iter()
+            .filter(|l| {
+                l.geometry
+                    .as_ref()
+                    .is_some_and(|g| g.points().iter().any(|p| p.lat.is_nan()))
+            })
+            .count();
+        assert!(nan_links > 0);
+        assert_eq!(nan_links, ledger.count(FaultFamily::NanCoordinates));
+
+        let mut maps = sample_maps();
+        let mut ledger = InjectionLedger::new();
+        let plan = FaultPlan::new(9).with(FaultFamily::StripGeometry, 0.3);
+        inject_published_maps(&mut maps, &plan, &mut ledger);
+        let stripped = maps[0].links.iter().filter(|l| l.geometry.is_none()).count();
+        assert!(stripped > 0);
+        assert_eq!(stripped, ledger.count(FaultFamily::StripGeometry));
+    }
+
+    #[test]
+    fn drop_and_duplicate_change_link_count_consistently() {
+        let plan = FaultPlan::new(5)
+            .with(FaultFamily::DropLinks, 0.4)
+            .with(FaultFamily::DuplicateLinks, 0.4);
+        let mut maps = sample_maps();
+        let before = maps[0].links.len();
+        let mut ledger = InjectionLedger::new();
+        inject_published_maps(&mut maps, &plan, &mut ledger);
+        let after = maps[0].links.len();
+        assert_eq!(
+            after,
+            before + ledger.count(FaultFamily::DuplicateLinks)
+                - ledger.count(FaultFamily::DropLinks)
+        );
+    }
+
+    #[test]
+    fn zero_rate_plans_touch_nothing() {
+        let mut maps = sample_maps();
+        let pristine = maps.clone();
+        let mut ledger = InjectionLedger::new();
+        inject_published_maps(&mut maps, &FaultPlan::new(3), &mut ledger);
+        assert_eq!(maps, pristine);
+        assert_eq!(ledger.total(), 0);
+        assert!(ledger.render().contains("clean"));
+    }
+
+    #[test]
+    fn corrupt_documents_are_marked_and_counted() {
+        let docs: Vec<Document> = (0..30)
+            .map(|i| Document {
+                id: intertubes_records::DocId(i),
+                kind: intertubes_records::DocKind::FranchiseAgreement,
+                title: format!("Agreement {i}"),
+                body: "conduit between the cities".to_string(),
+                cities: vec!["Madison, WI".to_string(), "Chicago, IL".to_string()],
+                isps: vec!["TestNet".to_string()],
+                row: Some(RowHint::Road),
+            })
+            .collect();
+        let corpus = Corpus::from_documents(docs);
+        let plan = FaultPlan::new(11)
+            .with(FaultFamily::CorruptDocuments, 0.3)
+            .with(FaultFamily::ContradictoryDocuments, 0.3);
+        let mut ledger = InjectionLedger::new();
+        let faulted = inject_corpus(&corpus, &plan, &mut ledger);
+        let marked = faulted
+            .docs()
+            .iter()
+            .filter(|d| d.cities.iter().any(|c| c.starts_with(CORRUPT_MARKER)))
+            .count();
+        assert_eq!(marked, ledger.count(FaultFamily::CorruptDocuments));
+        assert_eq!(
+            faulted.docs().len(),
+            corpus.docs().len() + ledger.count(FaultFamily::ContradictoryDocuments)
+        );
+        assert!(ledger.count(FaultFamily::ContradictoryDocuments) > 0);
+        // Forged documents claim a different right-of-way than the original.
+        let originals_rail = faulted
+            .docs()
+            .iter()
+            .filter(|d| d.row == Some(RowHint::Rail))
+            .count();
+        assert_eq!(originals_rail, ledger.count(FaultFamily::ContradictoryDocuments));
+    }
+
+    #[test]
+    fn transport_injection_reduces_edges_preserves_nodes() {
+        use intertubes_atlas::World;
+        let world = World::reference();
+        let mut roads = world.roads.clone();
+        let nodes_before = roads.graph.node_count();
+        let edges_before = roads.graph.edge_count();
+        let plan = FaultPlan::new(7).with(FaultFamily::DisconnectTransport, 0.5);
+        let mut ledger = InjectionLedger::new();
+        inject_transport(&mut roads, &plan, &mut ledger);
+        assert_eq!(roads.graph.node_count(), nodes_before);
+        assert_eq!(
+            roads.graph.edge_count(),
+            edges_before - ledger.count(FaultFamily::DisconnectTransport)
+        );
+        assert!(ledger.count(FaultFamily::DisconnectTransport) > 0);
+    }
+
+    #[test]
+    fn built_in_scenarios_parse_and_cover_all_families() {
+        let scenarios = FaultPlan::built_in_scenarios();
+        assert!(scenarios.iter().any(|(n, _)| *n == "clean"));
+        let everything = &scenarios
+            .iter()
+            .find(|(n, _)| *n == "everything")
+            .unwrap()
+            .1;
+        for family in FaultFamily::ALL {
+            assert!(everything.rate(family) > 0.0, "missing {family}");
+        }
+        for (_, plan) in &scenarios {
+            let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+            assert_eq!(*plan, back);
+        }
+    }
+}

@@ -94,6 +94,12 @@ impl SegmentGrid {
     /// point. Splitting keeps stored geometry on the geodesic and bounds the
     /// planar error to centimeters.
     pub fn insert_segment(&mut self, a: GeoPoint, b: GeoPoint, tag: u32) {
+        // Non-finite endpoints would hash into nonsense cells and poison
+        // every later distance computation with NaN; refuse them here so a
+        // single bad vertex upstream cannot disable the whole index.
+        if !a.lat.is_finite() || !a.lon.is_finite() || !b.lat.is_finite() || !b.lon.is_finite() {
+            return;
+        }
         let d = a.distance_km(&b);
         let pieces = (d / Self::DENSIFY_KM).ceil().max(1.0) as usize;
         let mut prev = a;
@@ -137,16 +143,30 @@ impl SegmentGrid {
         let rings = (radius_km / self.cell_km).ceil().max(1.0) as i32;
         let (ci, cj) = self.cell_of(p);
         let mut seen: Vec<u32> = Vec::new();
-        for di in -rings..=rings {
-            for dj in -rings..=rings {
-                if let Some(list) = self.cells.get(&(ci + di, cj + dj)) {
+        let ring_cells = (2 * rings as i64 + 1).pow(2);
+        if ring_cells > self.cells.len() as i64 {
+            // A degenerate query (huge or non-finite radius, far-out-of-range
+            // point) would walk an enormous ring neighbourhood; scanning the
+            // occupied cells directly is then both faster and bounded.
+            for (&(i, j), list) in &self.cells {
+                if (i.saturating_sub(ci)).abs() <= rings && (j.saturating_sub(cj)).abs() <= rings {
                     seen.extend_from_slice(list);
+                }
+            }
+        } else {
+            for di in -rings..=rings {
+                for dj in -rings..=rings {
+                    if let Some(list) = self.cells.get(&(ci + di, cj + dj)) {
+                        seen.extend_from_slice(list);
+                    }
                 }
             }
         }
         seen.sort_unstable();
         seen.dedup();
         seen.into_iter()
+            // Indexing invariant: every id stored in `cells` was pushed into
+            // `segments` by `insert_piece` before registration.
             .map(move |i| &self.segments[i as usize])
             .collect::<Vec<_>>()
             .into_iter()

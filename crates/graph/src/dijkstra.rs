@@ -37,36 +37,36 @@ impl ShortestPathTree {
         self.source
     }
 
-    /// Cost of the cheapest path to `n` (`f64::INFINITY` if unreachable).
+    /// Cost of the cheapest path to `n`. `f64::INFINITY` if unreachable —
+    /// including nodes outside the tree's graph, which a caller probing
+    /// with foreign ids should see as "unreachable", not a panic.
     pub fn distance(&self, n: NodeId) -> f64 {
-        self.dist[n.index()]
+        self.dist.get(n.index()).copied().unwrap_or(f64::INFINITY)
     }
 
-    /// Whether `n` is reachable from the source.
+    /// Whether `n` is reachable from the source (out-of-bounds ids are not).
     pub fn reachable(&self, n: NodeId) -> bool {
-        self.dist[n.index()].is_finite()
+        self.distance(n).is_finite()
     }
 
-    /// Reconstructs the cheapest path to `target`, or `None` if unreachable.
+    /// Reconstructs the cheapest path to `target`, or `None` if unreachable
+    /// (including out-of-bounds targets).
     pub fn path_to(&self, target: NodeId) -> Option<Path> {
-        if !self.reachable(target) {
+        let cost = self.distance(target);
+        if !cost.is_finite() {
             return None;
         }
         let mut nodes = vec![target];
         let mut edges = Vec::new();
         let mut cur = target;
-        while let Some((e, p)) = self.prev[cur.index()] {
+        while let Some((e, p)) = self.prev.get(cur.index()).copied().flatten() {
             edges.push(e);
             nodes.push(p);
             cur = p;
         }
         nodes.reverse();
         edges.reverse();
-        Some(Path {
-            nodes,
-            edges,
-            cost: self.dist[target.index()],
-        })
+        Some(Path { nodes, edges, cost })
     }
 }
 

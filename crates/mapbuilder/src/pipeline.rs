@@ -14,13 +14,15 @@
 
 use std::collections::HashMap;
 
-use intertubes_atlas::{City, MapKind, PublishedMap, TransportNetwork};
+use intertubes_atlas::{City, MapKind, PublishedLink, PublishedMap, TransportNetwork};
+use intertubes_degrade::{DegradationAction, DegradationPolicy, DegradationReport};
 use intertubes_geo::{GeoPoint, Polyline};
 use intertubes_records::{gather_pair_evidence, Corpus};
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::same_conduit;
 use crate::model::{FiberMap, MapConduit, MapConduitId, Provenance, Tenancy, TenancySource};
+use crate::MapError;
 
 /// Pipeline tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -144,11 +146,11 @@ fn step1(
 ) {
     for pm in published.iter().filter(|m| m.kind == MapKind::Geocoded) {
         for link in &pm.links {
-            let geometry = link
-                .geometry
-                .as_ref()
-                .expect("geocoded maps carry geometry")
-                .clone();
+            // Sanitization guarantees geometry on geocoded links; a link
+            // that slipped through anyway is unplaceable, not fatal.
+            let Some(geometry) = link.geometry.clone() else {
+                continue;
+            };
             let na = map.ensure_node(&link.a, geometry.start());
             let nb = map.ensure_node(&link.b, geometry.end());
             let key = pair_key(&link.a, &link.b);
@@ -182,10 +184,7 @@ fn step1(
                     validated: false,
                     row: None,
                 });
-                pair_index
-                    .get_mut(&pair_key(&link.a, &link.b))
-                    .expect("just inserted")
-                    .push(id);
+                candidates.push(id);
             }
         }
     }
@@ -240,10 +239,12 @@ fn records_pass(
             {
                 continue;
             }
-            let busiest = ids
+            let Some(busiest) = ids
                 .iter()
                 .max_by_key(|id| map.conduits[id.index()].tenant_count())
-                .expect("ids is non-empty");
+            else {
+                continue;
+            };
             let c = &mut map.conduits[busiest.index()];
             c.tenants.push(Tenancy {
                 isp: isp.to_string(),
@@ -272,25 +273,23 @@ fn step3(
             let na = map.ensure_node(&link.a, la);
             let nb = map.ensure_node(&link.b, lb);
             let key = pair_key(&link.a, &link.b);
-            if let Some(ids) = pair_index.get(&key) {
-                if !ids.is_empty() {
-                    // Tentatively place the provider in the pair's busiest
-                    // conduit (lease into existing infrastructure).
-                    let busiest = ids
-                        .iter()
-                        .max_by_key(|id| map.conduits[id.index()].tenant_count())
-                        .copied()
-                        .expect("non-empty ids");
-                    let c = &mut map.conduits[busiest.index()];
-                    if !c.has_tenant(&pm.isp) {
-                        c.tenants.push(Tenancy {
-                            isp: pm.isp.clone(),
-                            source: TenancySource::PublishedMap,
-                        });
-                        c.tenants.sort_by(|x, y| x.isp.cmp(&y.isp));
-                    }
-                    continue;
+            // Tentatively place the provider in the pair's busiest conduit
+            // (lease into existing infrastructure) when the pair is known.
+            let busiest = pair_index.get(&key).and_then(|ids| {
+                ids.iter()
+                    .max_by_key(|id| map.conduits[id.index()].tenant_count())
+                    .copied()
+            });
+            if let Some(busiest) = busiest {
+                let c = &mut map.conduits[busiest.index()];
+                if !c.has_tenant(&pm.isp) {
+                    c.tenants.push(Tenancy {
+                        isp: pm.isp.clone(),
+                        source: TenancySource::PublishedMap,
+                    });
+                    c.tenants.sort_by(|x, y| x.isp.cmp(&y.isp));
                 }
+                continue;
             }
             // New conduit: snap onto the closest known ROW (road, then
             // rail), falling back to a direct path.
@@ -317,30 +316,156 @@ fn step3(
     }
 }
 
-/// Runs the full four-step pipeline.
+/// Whether every coordinate of `p` is finite and within geographic range.
+fn polyline_is_valid(p: &Polyline) -> bool {
+    p.points()
+        .iter()
+        .all(|pt| pt.lat.is_finite() && pt.lon.is_finite() && pt.lat.abs() <= 90.0 && pt.lon.abs() <= 180.0)
+}
+
+/// Input sanitization: the degradation front door of the pipeline.
 ///
-/// * `published` — the providers' maps (geocoded and POP-only).
-/// * `corpus` — the public-records corpus.
-/// * `cities` — the public gazetteer (city label → location).
-/// * `roads` / `rails` — public transportation layers for ROW snapping.
-pub fn build_map(
+/// Runs before step 1 and returns a cleaned copy of the published maps:
+///
+/// * Geometry with non-finite or out-of-range coordinates — lenient drops
+///   the link (`"invalid-geometry"`); strict fails.
+/// * Geocoded links without geometry — repaired as a straight line between
+///   the gazetteer locations of the endpoints (`"missing-geometry"`), or
+///   dropped when an endpoint is unknown
+///   (`"missing-geometry-unresolvable"`); strict fails either way.
+/// * Bitwise-identical duplicate links within one provider's map —
+///   digitization noise makes natural collisions impossible, so these are
+///   publication artifacts: deduplicated (`"duplicate-link"`); strict
+///   fails. POP-only duplicates are *kept* — carriers legitimately list a
+///   city pair once per conduit they lease.
+/// * POP-only links naming a city absent from the gazetteer — dropped
+///   (`"unknown-endpoint"`); strict fails.
+///
+/// On clean input the returned maps equal the input and no events are
+/// noted.
+fn sanitize_published(
+    published: &[PublishedMap],
+    gaz: &Gazetteer<'_>,
+    policy: DegradationPolicy,
+    report: &mut DegradationReport,
+) -> Result<Vec<PublishedMap>, MapError> {
+    const STAGE: &str = "map.sanitize";
+    let mut out = Vec::with_capacity(published.len());
+    let mut invalid = 0usize;
+    let mut repaired = 0usize;
+    let mut unresolvable = 0usize;
+    let mut duplicates = 0usize;
+    let mut unknown = 0usize;
+    for pm in published {
+        let mut links: Vec<PublishedLink> = Vec::with_capacity(pm.links.len());
+        for link in &pm.links {
+            match (pm.kind, &link.geometry) {
+                (_, Some(geom)) if !polyline_is_valid(geom) => {
+                    if policy.is_strict() {
+                        return Err(MapError::InvalidGeometry {
+                            isp: pm.isp.clone(),
+                            a: link.a.clone(),
+                            b: link.b.clone(),
+                        });
+                    }
+                    invalid += 1;
+                }
+                (MapKind::Geocoded, None) => {
+                    if policy.is_strict() {
+                        return Err(MapError::MissingGeometry {
+                            isp: pm.isp.clone(),
+                            a: link.a.clone(),
+                            b: link.b.clone(),
+                        });
+                    }
+                    match (gaz.location(&link.a), gaz.location(&link.b)) {
+                        (Some(la), Some(lb)) => {
+                            repaired += 1;
+                            links.push(PublishedLink {
+                                a: link.a.clone(),
+                                b: link.b.clone(),
+                                geometry: Some(Polyline::straight(la, lb)),
+                            });
+                        }
+                        _ => unresolvable += 1,
+                    }
+                }
+                (MapKind::Geocoded, Some(_)) if links.contains(link) => {
+                    if policy.is_strict() {
+                        return Err(MapError::DuplicateLink {
+                            isp: pm.isp.clone(),
+                            a: link.a.clone(),
+                            b: link.b.clone(),
+                        });
+                    }
+                    duplicates += 1;
+                }
+                (MapKind::PopOnly, _) if gaz.location(&link.a).is_none() || gaz.location(&link.b).is_none() => {
+                    if policy.is_strict() {
+                        let label = if gaz.location(&link.a).is_none() {
+                            link.a.clone()
+                        } else {
+                            link.b.clone()
+                        };
+                        return Err(MapError::UnknownEndpoint {
+                            isp: pm.isp.clone(),
+                            label,
+                        });
+                    }
+                    unknown += 1;
+                }
+                _ => links.push(link.clone()),
+            }
+        }
+        out.push(PublishedMap {
+            isp: pm.isp.clone(),
+            kind: pm.kind,
+            links,
+        });
+    }
+    report.note(STAGE, DegradationAction::Dropped, "invalid-geometry", invalid);
+    report.note(STAGE, DegradationAction::Repaired, "missing-geometry", repaired);
+    report.note(
+        STAGE,
+        DegradationAction::Dropped,
+        "missing-geometry-unresolvable",
+        unresolvable,
+    );
+    report.note(STAGE, DegradationAction::Repaired, "duplicate-link", duplicates);
+    report.note(STAGE, DegradationAction::Dropped, "unknown-endpoint", unknown);
+    Ok(out)
+}
+
+/// Runs the full four-step pipeline with explicit degradation control.
+///
+/// Inputs are sanitized first (see the module docs); under
+/// [`DegradationPolicy::Lenient`] problems are absorbed and counted in the
+/// returned [`DegradationReport`], under
+/// [`DegradationPolicy::Strict`] the first problem aborts with a
+/// [`MapError`]. Clean input produces a map identical to [`build_map`]'s
+/// and an empty report.
+pub fn build_map_checked(
     published: &[PublishedMap],
     corpus: &Corpus,
     cities: &[City],
     roads: &TransportNetwork,
     rails: &TransportNetwork,
     cfg: &PipelineConfig,
-) -> BuiltMap {
+    policy: DegradationPolicy,
+) -> Result<(BuiltMap, DegradationReport), MapError> {
     let gaz = Gazetteer::new(cities);
     let road_lookup = CorridorLookup::new(roads, cities);
     let rail_lookup = CorridorLookup::new(rails, cities);
     let known_isps: Vec<String> = published.iter().map(|m| m.isp.clone()).collect();
 
+    let mut degradation = DegradationReport::new();
+    let published = sanitize_published(published, &gaz, policy, &mut degradation)?;
+
     let mut map = FiberMap::default();
     let mut pair_index: HashMap<(String, String), Vec<MapConduitId>> = HashMap::new();
     let mut reports = Vec::with_capacity(4);
 
-    step1(&mut map, &mut pair_index, published, cfg);
+    step1(&mut map, &mut pair_index, &published, cfg);
     reports.push(report(1, &map));
 
     records_pass(&mut map, &pair_index, corpus, &known_isps, cfg, |c| {
@@ -351,7 +476,7 @@ pub fn build_map(
     step3(
         &mut map,
         &mut pair_index,
-        published,
+        &published,
         &gaz,
         &road_lookup,
         &rail_lookup,
@@ -370,7 +495,39 @@ pub fn build_map(
     final_report.step = 4;
     reports.push(final_report);
 
-    BuiltMap { map, reports }
+    Ok((BuiltMap { map, reports }, degradation))
+}
+
+/// Runs the full four-step pipeline.
+///
+/// * `published` — the providers' maps (geocoded and POP-only).
+/// * `corpus` — the public-records corpus.
+/// * `cities` — the public gazetteer (city label → location).
+/// * `roads` / `rails` — public transportation layers for ROW snapping.
+///
+/// Equivalent to [`build_map_checked`] under the lenient policy, with the
+/// degradation report discarded.
+pub fn build_map(
+    published: &[PublishedMap],
+    corpus: &Corpus,
+    cities: &[City],
+    roads: &TransportNetwork,
+    rails: &TransportNetwork,
+    cfg: &PipelineConfig,
+) -> BuiltMap {
+    match build_map_checked(
+        published,
+        corpus,
+        cities,
+        roads,
+        rails,
+        cfg,
+        DegradationPolicy::Lenient,
+    ) {
+        Ok((built, _)) => built,
+        // The lenient policy never returns an error by construction.
+        Err(e) => unreachable!("lenient build cannot fail: {e}"),
+    }
 }
 
 /// Drops conduits failing every criterion of the long-haul definition.

@@ -15,4 +15,34 @@ mod campaign;
 mod overlay;
 
 pub use campaign::{run_campaign, Campaign, Hop, ProbeConfig, Traceroute};
-pub use overlay::{classify_direction, overlay_campaign, ConduitRow, Direction, Overlay};
+pub use overlay::{
+    classify_direction, overlay_campaign, overlay_campaign_checked, ConduitRow, Direction, Overlay,
+};
+
+/// Errors of the probe layer. Raised only under the strict degradation
+/// policy; the lenient overlay degrades (drops and counts) instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeError {
+    /// A trace endpoint references a city id outside the gazetteer.
+    EndpointOutOfRange {
+        /// Index of the offending trace in the campaign.
+        trace: usize,
+        /// The unresolvable city id.
+        city: u32,
+        /// Gazetteer size at lookup time.
+        cities: usize,
+    },
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::EndpointOutOfRange { trace, city, cities } => write!(
+                f,
+                "trace {trace}: endpoint city id {city} out of range (gazetteer has {cities})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}

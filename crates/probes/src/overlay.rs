@@ -6,12 +6,14 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use intertubes_atlas::World;
+use intertubes_degrade::{DegradationAction, DegradationPolicy, DegradationReport};
 use intertubes_geo::GeoPoint;
 use intertubes_graph::{dijkstra, EdgeId, NodeId};
 use intertubes_map::{FiberMap, MapConduitId, MapNodeId};
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::Campaign;
+use crate::ProbeError;
 
 /// Probe direction, classified from endpoint geolocations as in the paper
 /// ("classified based on geolocation information for source/destination
@@ -135,7 +137,34 @@ impl Overlay {
 /// Consecutive resolved hops are mapped onto map conduits: directly when the
 /// hop pair is conduit-adjacent, otherwise along the km-shortest path in the
 /// map (gaps arise from MPLS tunnels and geolocation failures).
+///
+/// Equivalent to [`overlay_campaign_checked`] under the lenient policy,
+/// with the degradation report discarded.
 pub fn overlay_campaign(world: &World, map: &FiberMap, campaign: &Campaign) -> Overlay {
+    match overlay_campaign_checked(world, map, campaign, DegradationPolicy::Lenient) {
+        Ok((overlay, _)) => overlay,
+        // The lenient policy never returns an error by construction.
+        Err(e) => unreachable!("lenient overlay cannot fail: {e}"),
+    }
+}
+
+/// Overlays a campaign onto a constructed map with explicit degradation
+/// control.
+///
+/// Traces whose src/dst city ids fall outside the world's gazetteer (a
+/// data-corruption symptom: real campaigns hit this via stale geolocation
+/// databases) are dropped and counted (`"endpoint-out-of-range"`) under
+/// [`DegradationPolicy::Lenient`], or abort with
+/// [`ProbeError::EndpointOutOfRange`] under strict. Hops pointing at
+/// unknown cities are treated as unresolved, exactly like geolocation
+/// failures. Clean campaigns produce an overlay identical to
+/// [`overlay_campaign`]'s and an empty report.
+pub fn overlay_campaign_checked(
+    world: &World,
+    map: &FiberMap,
+    campaign: &Campaign,
+    policy: DegradationPolicy,
+) -> Result<(Overlay, DegradationReport), ProbeError> {
     let n = map.conduits.len();
     let graph = map.graph();
     // Label → map node.
@@ -161,18 +190,34 @@ pub fn overlay_campaign(world: &World, map: &FiberMap, campaign: &Campaign) -> O
     let mut isp_conduits: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
     let mut overlaid = 0usize;
     let mut skipped = 0usize;
+    let mut bad_endpoints = 0usize;
 
-    for t in &campaign.traces {
-        let src_loc = world.cities[t.src.index()].location;
-        let dst_loc = world.cities[t.dst.index()].location;
-        let dir = classify_direction(&src_loc, &dst_loc);
-        // Resolved hop sequence with hints.
+    for (ti, t) in campaign.traces.iter().enumerate() {
+        let endpoints = (
+            world.cities.get(t.src.index()),
+            world.cities.get(t.dst.index()),
+        );
+        let (Some(src_city), Some(dst_city)) = endpoints else {
+            if policy.is_strict() {
+                let city = if endpoints.0.is_none() { t.src.0 } else { t.dst.0 };
+                return Err(ProbeError::EndpointOutOfRange {
+                    trace: ti,
+                    city,
+                    cities: world.cities.len(),
+                });
+            }
+            bad_endpoints += 1;
+            continue;
+        };
+        let dir = classify_direction(&src_city.location, &dst_city.location);
+        // Resolved hop sequence with hints. An out-of-range hop city is
+        // indistinguishable from a geolocation failure: unresolved.
         let resolved: Vec<(MapNodeId, Option<&str>)> = t
             .hops
             .iter()
             .filter_map(|h| {
                 let city = h.city?;
-                let node = city_to_node[city.index()]?;
+                let node = city_to_node.get(city.index()).copied().flatten()?;
                 Some((node, h.isp_hint.as_deref()))
             })
             .collect();
@@ -187,37 +232,36 @@ pub fn overlay_campaign(world: &World, map: &FiberMap, campaign: &Campaign) -> O
                 continue;
             }
             // Conduits for this hop pair: direct conduit or map-path.
-            let conduits: Vec<MapConduitId> = {
-                let direct = map.conduits_between(u, v);
-                if !direct.is_empty() {
-                    // Prefer a conduit whose tenants include the hinted
-                    // operator; fall back to the busiest.
-                    let hinted = hint_u.or(hint_v);
-                    let chosen = hinted
-                        .and_then(|h| {
-                            direct
-                                .iter()
-                                .find(|c| map.conduits[c.index()].has_tenant(h))
-                        })
-                        .or_else(|| {
-                            direct
-                                .iter()
-                                .max_by_key(|c| map.conduits[c.index()].tenant_count())
-                        })
-                        .copied()
-                        .expect("direct is non-empty");
-                    vec![chosen]
-                } else {
-                    let key = (u.0.min(v.0), u.0.max(v.0));
-                    let path = gap_cache.entry(key).or_insert_with(|| {
-                        dijkstra(&graph, NodeId(u.0), NodeId(v.0), km)
-                            .expect("km cost is non-negative")
-                            .map(|p| p.edges.iter().map(|e| *graph.edge(*e)).collect())
-                    });
-                    match path {
-                        Some(p) => p.clone(),
-                        None => continue,
-                    }
+            let direct = map.conduits_between(u, v);
+            // Prefer a conduit whose tenants include the hinted operator;
+            // fall back to the busiest.
+            let hinted = hint_u.or(hint_v);
+            let chosen = hinted
+                .and_then(|h| {
+                    direct
+                        .iter()
+                        .find(|c| map.conduits[c.index()].has_tenant(h))
+                })
+                .or_else(|| {
+                    direct
+                        .iter()
+                        .max_by_key(|c| map.conduits[c.index()].tenant_count())
+                })
+                .copied();
+            let conduits: Vec<MapConduitId> = if let Some(chosen) = chosen {
+                vec![chosen]
+            } else {
+                let key = (u.0.min(v.0), u.0.max(v.0));
+                // A dijkstra error (non-finite edge cost) means the map
+                // region is unusable for gap-filling: same as no path.
+                let path = gap_cache.entry(key).or_insert_with(|| {
+                    dijkstra(&graph, NodeId(u.0), NodeId(v.0), km)
+                        .unwrap_or(None)
+                        .map(|p| p.edges.iter().map(|e| *graph.edge(*e)).collect())
+                });
+                match path {
+                    Some(p) => p.clone(),
+                    None => continue,
                 }
             };
             for cid in conduits {
@@ -244,15 +288,25 @@ pub fn overlay_campaign(world: &World, map: &FiberMap, campaign: &Campaign) -> O
             skipped += 1;
         }
     }
-    Overlay {
-        conduit_freq,
-        west_east,
-        east_west,
-        observed_isps,
-        isp_conduits,
-        overlaid,
-        skipped,
-    }
+    let mut report = DegradationReport::new();
+    report.note(
+        "probes.overlay",
+        DegradationAction::Dropped,
+        "endpoint-out-of-range",
+        bad_endpoints,
+    );
+    Ok((
+        Overlay {
+            conduit_freq,
+            west_east,
+            east_west,
+            observed_isps,
+            isp_conduits,
+            overlaid,
+            skipped,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]

@@ -18,9 +18,43 @@
 mod corpus;
 mod document;
 mod inference;
+mod sanitize;
 
 pub use corpus::{generate_corpus, tokenize, Corpus, CorpusConfig};
 pub use document::{DocId, DocKind, Document, RowHint};
 pub use inference::{
     confidence_from_docs, gather_pair_evidence, PairEvidence, ProviderEvidence, RowHintKey,
 };
+pub use sanitize::{count_row_conflicts, document_is_corrupt, sanitize_corpus};
+
+/// Errors of the records layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordsError {
+    /// A document's city labels cannot resolve (strict sanitization).
+    CorruptDocument {
+        /// Offending document id.
+        id: u32,
+    },
+    /// A document id does not exist in the corpus.
+    UnknownDocument {
+        /// The id that failed to resolve.
+        id: u32,
+        /// Corpus size at lookup time.
+        corpus_len: usize,
+    },
+}
+
+impl std::fmt::Display for RecordsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordsError::CorruptDocument { id } => {
+                write!(f, "document {id} has unresolvable city labels")
+            }
+            RecordsError::UnknownDocument { id, corpus_len } => {
+                write!(f, "document id {id} out of range (corpus has {corpus_len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordsError {}

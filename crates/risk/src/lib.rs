@@ -26,3 +26,27 @@ pub use metrics::{
 };
 pub use resilience::{isp_resilience, map_resilience, IspResilience, ResilienceReport};
 pub use traffic::{traffic_risk, Cdf, TrafficRisk};
+
+/// Errors of the risk layer. Raised only under the strict degradation
+/// policy; the lenient builder repairs (deduplicates) instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RiskError {
+    /// The provider roster lists the same name twice, which would
+    /// double-count shared conduits.
+    DuplicateProvider {
+        /// The duplicated provider name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for RiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RiskError::DuplicateProvider { name } => {
+                write!(f, "provider {name:?} appears twice in the roster")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RiskError {}

@@ -5,8 +5,11 @@
 //! else 0 — exactly the counting scheme the paper illustrates with the
 //! Level 3 / Sprint example.
 
+use intertubes_degrade::{DegradationAction, DegradationPolicy, DegradationReport};
 use intertubes_map::FiberMap;
 use serde::{Deserialize, Serialize};
+
+use crate::RiskError;
 
 /// The §4.1 risk matrix.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -24,7 +27,54 @@ impl RiskMatrix {
     ///
     /// Providers absent from the map get all-zero rows (and a zero share
     /// contribution), mirroring the paper's incremental construction.
+    ///
+    /// Equivalent to [`RiskMatrix::build_checked`] under the lenient
+    /// policy, with the degradation report discarded.
     pub fn build(map: &FiberMap, isps: &[String]) -> RiskMatrix {
+        match RiskMatrix::build_checked(map, isps, DegradationPolicy::Lenient) {
+            Ok((rm, _)) => rm,
+            // The lenient policy never returns an error by construction.
+            Err(e) => unreachable!("lenient risk-matrix build cannot fail: {e}"),
+        }
+    }
+
+    /// Builds the matrix with explicit degradation control.
+    ///
+    /// A provider name listed twice would double-count every conduit it
+    /// shares, silently inflating the §4.2 sharing distribution. Under
+    /// [`DegradationPolicy::Lenient`] later duplicates are dropped and
+    /// counted (`"duplicate-provider"`); under strict the build aborts
+    /// with [`RiskError::DuplicateProvider`]. A duplicate-free roster
+    /// yields the same matrix as [`RiskMatrix::build`] and an empty
+    /// report.
+    pub fn build_checked(
+        map: &FiberMap,
+        isps: &[String],
+        policy: DegradationPolicy,
+    ) -> Result<(RiskMatrix, DegradationReport), RiskError> {
+        let mut report = DegradationReport::new();
+        let mut roster: Vec<String> = Vec::with_capacity(isps.len());
+        let mut duplicates = 0usize;
+        for isp in isps {
+            if roster.contains(isp) {
+                if policy.is_strict() {
+                    return Err(RiskError::DuplicateProvider { name: isp.clone() });
+                }
+                duplicates += 1;
+            } else {
+                roster.push(isp.clone());
+            }
+        }
+        report.note(
+            "risk.matrix",
+            DegradationAction::Repaired,
+            "duplicate-provider",
+            duplicates,
+        );
+        Ok((RiskMatrix::build_roster(map, &roster), report))
+    }
+
+    fn build_roster(map: &FiberMap, isps: &[String]) -> RiskMatrix {
         let n = map.conduits.len();
         let mut uses = vec![vec![false; n]; isps.len()];
         let mut shared = vec![0u16; n];

@@ -1,0 +1,24 @@
+//! Writes every built-in fault scenario as a `<name>.json` plan file.
+//!
+//! ```sh
+//! cargo run --example dump_fault_plans -- plans/
+//! cargo run --bin intertubes -- --faults plans/dirty-maps.json summary
+//! ```
+
+use intertubes::faults::FaultPlan;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "plans".into());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(3);
+    }
+    for (name, plan) in FaultPlan::built_in_scenarios() {
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        if let Err(e) = std::fs::write(&path, plan.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(3);
+        }
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Ratchet gate for panicking escape hatches in library code.
+#
+# The workspace lints (Cargo.toml [workspace.lints.clippy]) surface every
+# `unwrap()` / `expect()` in the library crates as a clippy warning. Input-
+# facing code must use the checked `_checked` variants and the degradation
+# taxonomy instead; the sites that remain are construction invariants in
+# trusted world-generation internals. This script pins their count so it
+# can only go down: lower BUDGET when you remove one, never raise it.
+set -eu
+
+BUDGET=15
+
+cd "$(dirname "$0")/.."
+count=$(cargo clippy --workspace --all-targets 2>&1 |
+    grep -c 'used `unwrap()`\|used `expect()`' || true)
+
+echo "lint_gate: $count panicking call sites (budget $BUDGET)"
+if [ "$count" -gt "$BUDGET" ]; then
+    echo "lint_gate: FAIL — new unwrap()/expect() in library code." >&2
+    echo "Use the checked degradation path (see DESIGN.md) or justify and" >&2
+    echo "raise BUDGET in scripts/lint_gate.sh in the same change." >&2
+    exit 1
+fi
+echo "lint_gate: OK"

@@ -12,16 +12,28 @@
 //! intertubes latency latency.json       # §5.3 per-pair delays
 //! intertubes export out/                # everything, one file per artifact
 //! intertubes --seed 42 summary          # any subcommand on another world
+//! intertubes --strict summary           # abort (exit 3) on any dirty input
+//! intertubes --faults plan.json summary # inject faults, degrade, report
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage error, 3 data error (strict-mode
+//! failure, unreadable/invalid fault plan, unwritable output).
 
 use std::path::Path;
 
+use intertubes::degrade::DegradationPolicy;
+use intertubes::faults::FaultPlan;
 use intertubes::{Study, StudyConfig};
 use serde_json::json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: intertubes [--seed N] <command> [args]\n\
+        "usage: intertubes [--seed N] [--strict|--lenient] [--faults <plan.json>] <command> [args]\n\
+         flags:\n\
+           --seed N               world seed (default 1504)\n\
+           --strict               abort on the first malformed input (exit 3)\n\
+           --lenient              absorb malformed input and report it (default)\n\
+           --faults <plan.json>   inject the fault plan into every pipeline input\n\
          commands:\n\
            summary                map summary JSON to stdout\n\
            geojson <out>          constructed map as GeoJSON\n\
@@ -36,29 +48,82 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Aborts with exit code 3: the inputs (not the invocation) are bad.
+fn data_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(3);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = StudyConfig::default();
-    if args.first().map(String::as_str) == Some("--seed") {
-        if args.len() < 2 {
-            usage();
+    let mut faults_path: Option<String> = None;
+    loop {
+        match args.first().map(String::as_str) {
+            Some("--seed") => {
+                if args.len() < 2 {
+                    usage();
+                }
+                cfg.world.seed = args[1].parse().unwrap_or_else(|_| {
+                    eprintln!("--seed takes an integer");
+                    std::process::exit(2);
+                });
+                args.drain(..2);
+            }
+            Some("--strict") => {
+                cfg.policy = DegradationPolicy::Strict;
+                args.drain(..1);
+            }
+            Some("--lenient") => {
+                cfg.policy = DegradationPolicy::Lenient;
+                args.drain(..1);
+            }
+            Some("--faults") => {
+                if args.len() < 2 {
+                    usage();
+                }
+                faults_path = Some(args[1].clone());
+                args.drain(..2);
+            }
+            _ => break,
         }
-        cfg.world.seed = args[1].parse().unwrap_or_else(|_| {
-            eprintln!("--seed takes an integer");
-            std::process::exit(2);
-        });
-        args.drain(..2);
     }
     let Some(command) = args.first().cloned() else {
         usage()
     };
 
-    eprintln!("building study (seed {}) …", cfg.world.seed);
-    let study = Study::new(cfg);
+    eprintln!(
+        "building study (seed {}, {} policy) …",
+        cfg.world.seed, cfg.policy
+    );
+    let study = match &faults_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| data_error(&format!("cannot read fault plan {path}: {e}")));
+            let plan = FaultPlan::from_json(&text)
+                .unwrap_or_else(|e| data_error(&format!("invalid fault plan {path}: {e}")));
+            match Study::new_faulted(cfg, &plan) {
+                Ok((study, report, ledger)) => {
+                    eprintln!("{}", ledger.render());
+                    eprintln!("{}", report.render());
+                    study
+                }
+                Err(e) => data_error(&e.to_string()),
+            }
+        }
+        None => match Study::new_checked(cfg) {
+            Ok((study, report)) => {
+                eprintln!("{}", report.render());
+                study
+            }
+            Err(e) => data_error(&e.to_string()),
+        },
+    };
 
     match command.as_str() {
         "summary" => {
-            let text = serde_json::to_string_pretty(&summary_json(&study)).expect("serializes");
+            let text = serde_json::to_string_pretty(&summary_json(&study))
+                .unwrap_or_else(|e| data_error(&format!("cannot serialize summary: {e:?}")));
             println!("{text}");
         }
         "geojson" => {
@@ -71,13 +136,15 @@ fn main() {
         }
         "sharing-csv" => {
             let out = args.get(1).cloned().unwrap_or_else(|| usage());
-            std::fs::write(&out, sharing_csv(&study)).expect("write CSV");
+            std::fs::write(&out, sharing_csv(&study))
+                .unwrap_or_else(|e| data_error(&format!("cannot write {out}: {e}")));
             eprintln!("wrote {out}");
         }
         "latency" => {
             let out = args.get(1).cloned().unwrap_or_else(|| usage());
             let report = study.latency();
-            write_json(&out, &serde_json::to_value(&report).expect("serializes"));
+            write_json(&out, &serde_json::to_value(&report)
+                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))));
         }
         "resilience" => {
             let out = args.get(1).cloned().unwrap_or_else(|| usage());
@@ -91,11 +158,13 @@ fn main() {
         "whatif" => {
             let out = args.get(1).cloned().unwrap_or_else(|| usage());
             let report = study.what_if_augmented();
-            write_json(&out, &serde_json::to_value(&report).expect("serializes"));
+            write_json(&out, &serde_json::to_value(&report)
+                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))));
         }
         "export" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| usage());
-            std::fs::create_dir_all(&dir).expect("create output directory");
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| data_error(&format!("cannot create {dir}: {e}")));
             let p = |name: &str| Path::new(&dir).join(name).to_string_lossy().into_owned();
             write_json(&p("summary.json"), &summary_json(&study));
             write_json(
@@ -103,11 +172,13 @@ fn main() {
                 &intertubes::map::to_geojson(&study.built.map),
             );
             write_json(&p("risk.json"), &risk_json(&study));
-            std::fs::write(p("sharing.csv"), sharing_csv(&study)).expect("write CSV");
+            std::fs::write(p("sharing.csv"), sharing_csv(&study))
+                .unwrap_or_else(|e| data_error(&format!("cannot write sharing.csv: {e}")));
             let lat = study.latency();
             write_json(
                 &p("latency.json"),
-                &serde_json::to_value(&lat).expect("serializes"),
+                &serde_json::to_value(&lat)
+                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))),
             );
             write_json(&p("resilience.json"), &resilience_json(&study));
             let overlay = study.overlay(&study.campaign(Some(10_000)));
@@ -118,7 +189,8 @@ fn main() {
             let wi = study.what_if_augmented();
             write_json(
                 &p("whatif.json"),
-                &serde_json::to_value(&wi).expect("serializes"),
+                &serde_json::to_value(&wi)
+                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))),
             );
             eprintln!("exported 8 artifacts into {dir}");
         }
@@ -127,8 +199,10 @@ fn main() {
 }
 
 fn write_json(path: &str, value: &serde_json::Value) {
-    let text = serde_json::to_string_pretty(value).expect("serializes");
-    std::fs::write(path, text).expect("write output file");
+    let text = serde_json::to_string_pretty(value)
+        .unwrap_or_else(|e| data_error(&format!("cannot serialize {path}: {e:?}")));
+    std::fs::write(path, text)
+        .unwrap_or_else(|e| data_error(&format!("cannot write {path}: {e}")));
     eprintln!("wrote {path}");
 }
 

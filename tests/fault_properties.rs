@@ -1,0 +1,147 @@
+//! Property tests: no panic and no lenient-mode error under *arbitrary*
+//! fault plans.
+//!
+//! The full study build is too slow to run per proptest case, so the
+//! properties drive the individual injectors plus their consuming checked
+//! stages against shared fixtures (a subset of the published maps keeps
+//! the pipeline stage fast); the full-pipeline composition is covered by
+//! the built-in-scenario integration tests.
+
+use std::sync::OnceLock;
+
+use intertubes::atlas::{MapKind, PublishedMap, World, WorldConfig};
+use intertubes::degrade::DegradationPolicy;
+use intertubes::faults::{
+    inject_campaign, inject_corpus, inject_published_maps, inject_transport, FaultFamily,
+    FaultPlan, InjectionLedger,
+};
+use intertubes::map::{build_map_checked, PipelineConfig};
+use intertubes::probes::{overlay_campaign_checked, run_campaign, Campaign, ProbeConfig};
+use intertubes::records::{generate_corpus, sanitize_corpus, Corpus, CorpusConfig};
+use intertubes::Study;
+use proptest::prelude::*;
+
+struct Fixture {
+    world: World,
+    corpus: Corpus,
+    published: Vec<PublishedMap>,
+    campaign: Campaign,
+    study: Study,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let world = World::generate(WorldConfig::default());
+        let corpus = generate_corpus(&world, &CorpusConfig::default());
+        // A 4-provider subset keeps per-case pipeline builds fast while
+        // still exercising both geocoded and POP-only ingestion (the
+        // roster front-loads geocoded publishers, so pick by kind).
+        let all = world.publish_maps();
+        let mut published: Vec<PublishedMap> = all
+            .iter()
+            .filter(|m| m.kind == MapKind::Geocoded)
+            .take(3)
+            .cloned()
+            .collect();
+        published.extend(all.iter().filter(|m| m.kind == MapKind::PopOnly).take(1).cloned());
+        let campaign = run_campaign(
+            &world,
+            &ProbeConfig {
+                probes: 500,
+                ..ProbeConfig::default()
+            },
+        );
+        let study = Study::reference();
+        Fixture {
+            world,
+            corpus,
+            published,
+            campaign,
+            study,
+        }
+    })
+}
+
+/// Strategy: an arbitrary plan — any seed, any subset of families, any
+/// rates in [0, 1.5] (over-unit rates must clamp, not break).
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..u64::MAX,
+        prop::collection::vec((0usize..FaultFamily::ALL.len(), 0.0f64..1.5), 0..8),
+    )
+        .prop_map(|(seed, faults)| {
+            let mut plan = FaultPlan::new(seed);
+            for (idx, rate) in faults {
+                plan = plan.with(FaultFamily::ALL[idx], rate);
+            }
+            plan
+        })
+}
+
+proptest! {
+    #[test]
+    fn map_injection_and_build_never_panic(plan in arb_plan()) {
+        let f = fixture();
+        let mut published = f.published.clone();
+        let mut ledger = InjectionLedger::new();
+        inject_published_maps(&mut published, &plan, &mut ledger);
+        let (built, _report) = build_map_checked(
+            &published,
+            &f.corpus,
+            &f.world.cities,
+            &f.world.roads,
+            &f.world.rails,
+            &PipelineConfig::default(),
+            DegradationPolicy::Lenient,
+        )
+        .expect("lenient build never errors");
+        prop_assert_eq!(built.reports.len(), 4);
+    }
+
+    #[test]
+    fn corpus_injection_and_sanitize_never_panic(plan in arb_plan()) {
+        let f = fixture();
+        let mut ledger = InjectionLedger::new();
+        let corpus = inject_corpus(&f.corpus, &plan, &mut ledger);
+        let (clean, report) = sanitize_corpus(&corpus, DegradationPolicy::Lenient)
+            .expect("lenient sanitize never errors");
+        prop_assert!(clean.len() <= corpus.len());
+        prop_assert_eq!(
+            clean.len() + report.total_for_reason("corrupt-city-label"),
+            corpus.len()
+        );
+    }
+
+    #[test]
+    fn campaign_injection_and_overlay_never_panic(plan in arb_plan()) {
+        let f = fixture();
+        let mut campaign = f.campaign.clone();
+        let mut ledger = InjectionLedger::new();
+        inject_campaign(&mut campaign, f.world.cities.len(), &plan, &mut ledger);
+        let (overlay, report) = overlay_campaign_checked(
+            &f.study.world,
+            &f.study.built.map,
+            &campaign,
+            DegradationPolicy::Lenient,
+        )
+        .expect("lenient overlay never errors");
+        let dropped = report.total_for_reason("endpoint-out-of-range");
+        prop_assert_eq!(overlay.overlaid + overlay.skipped + dropped, campaign.traces.len());
+    }
+
+    #[test]
+    fn transport_injection_and_validation_never_panic(plan in arb_plan()) {
+        let f = fixture();
+        let mut roads = f.world.roads.clone();
+        let mut ledger = InjectionLedger::new();
+        inject_transport(&mut roads, &plan, &mut ledger);
+        let report = roads
+            .validate(DegradationPolicy::Lenient)
+            .expect("lenient validation never errors");
+        prop_assert_eq!(roads.graph.node_count(), f.world.roads.graph.node_count());
+        if ledger.count(FaultFamily::DisconnectTransport) == 0 {
+            prop_assert!(report.is_clean());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of criterion's statistical machinery it runs a fixed warmup +
+//! measurement loop and prints mean wall-clock time per iteration.
+//!
+//! Benchmarks only execute when the binary receives `--bench` (which
+//! `cargo bench` passes) or when `INTERTUBES_FORCE_BENCH=1` is set. Under
+//! `cargo test` the bench binaries therefore exit immediately — including
+//! skipping their (expensive) setup code — keeping the tier-1 test run
+//! fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The stub accepts all variants
+/// and treats them identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times a single benchmark's closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let _ = routine(setup());
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+    }
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    enabled: bool,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            enabled: bench_mode(),
+            sample_size: 20,
+        }
+    }
+}
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+        || std::env::var("INTERTUBES_FORCE_BENCH").map_or(false, |v| v == "1")
+}
+
+/// Whether this process should actually run benchmarks (true under
+/// `cargo bench`, false under `cargo test`). Used by `criterion_group!` to
+/// skip even the setup work in test builds.
+pub fn should_run() -> bool {
+    bench_mode()
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        if self.enabled {
+            let mut b = Bencher::new(self.sample_size);
+            f(&mut b);
+            report(&id.to_string(), &b);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        if self.criterion.enabled {
+            let iters = self.sample_size.unwrap_or(self.criterion.sample_size);
+            let mut b = Bencher::new(iters);
+            f(&mut b);
+            report(&format!("{}/{}", self.name, id), &b);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    let per_iter = if b.iterations > 0 {
+        b.elapsed / b.iterations as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench: {name:<50} {:>12.3?} /iter ({} iters)",
+        per_iter, b.iterations
+    );
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            if !$crate::should_run() {
+                return;
+            }
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_outside_bench_mode() {
+        // Unit tests never pass --bench, so closures must not run.
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn bencher_measures_when_forced() {
+        let mut b = Bencher::new(3);
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 4); // warmup + 3 measured
+        let mut b = Bencher::new(2);
+        b.iter_batched(|| vec![1u8, 2], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.elapsed < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,667 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The real crate is unavailable (no network registry), so this stub
+//! provides a compatible surface: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_flat_map`, range and tuple strategies, string
+//! generation from a mini regex dialect, `prop::collection::vec`,
+//! `prop::sample::select`, and the `proptest!` / `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for this environment:
+//!
+//! * **Deterministic**: the case seed derives from the test name, so runs
+//!   are reproducible and `proptest-regressions` files are ignored.
+//! * **No shrinking**: a failing case reports its seed and values via
+//!   `Debug`-free messages instead of minimizing.
+//! * Fixed case count (64 by default, `PROPTEST_CASES` overrides).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Deterministic generator feeding strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator with the given seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Failure modes a property-test case can report.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected (e.g. by `prop_assume!`); the runner
+    /// draws a fresh case without counting this one.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor for failures.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Convenience constructor for rejections.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A recipe for generating values of a type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, or `None` to reject the attempt (the runner
+    /// retries with fresh randomness).
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Discards generated values failing the predicate.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: impl Into<String>,
+        f: F,
+    ) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterStrategy { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
+        self,
+        f: F,
+    ) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Retry locally a few times before escalating the rejection.
+        for _ in 0..16 {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.f)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMapStrategy<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let first = self.inner.generate(rng)?;
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                Some((self.start as i128 + v as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if !(self.start < self.end) {
+                    return None;
+                }
+                let u = rng.unit_f64() as $t;
+                Some(self.start + u * (self.end - self.start))
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((self.0.generate(rng)?, self.1.generate(rng)?))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((
+            self.0.generate(rng)?,
+            self.1.generate(rng)?,
+            self.2.generate(rng)?,
+        ))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        Some((
+            self.0.generate(rng)?,
+            self.1.generate(rng)?,
+            self.2.generate(rng)?,
+            self.3.generate(rng)?,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies (mini regex dialect)
+// ---------------------------------------------------------------------------
+
+/// One repeated character-class unit of a pattern.
+struct PatternPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// `&'static str` is interpreted as a restricted regex: `.` (printable
+/// chars), `[a-z 0-9,]` classes with ranges, literal characters, and the
+/// quantifiers `{m,n}`, `{m,}`, `{m}`, `*`, `+`, `?`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let parts = parse_pattern(self);
+        let mut out = String::new();
+        for part in &parts {
+            if part.chars.is_empty() {
+                continue;
+            }
+            let span = part.max - part.min + 1;
+            let n = part.min + rng.below(span as u64) as usize;
+            for _ in 0..n {
+                out.push(part.chars[rng.below(part.chars.len() as u64) as usize]);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// The pool for `.`: printable ASCII plus a few multi-byte characters so
+/// unicode handling gets exercised.
+fn any_char_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+    pool.extend(['é', 'Ü', 'ß', 'λ', '中', '😀']);
+    pool
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                any_char_pool()
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        set.push(chars[i + 1]);
+                        i += 2;
+                    } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                set
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                    's' => vec![' ', '\t'],
+                    other => vec![other],
+                }
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+            match close {
+                Some(close) => {
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    parse_quantifier(&body)
+                }
+                None => (1, 1),
+            }
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else {
+            (1, 1)
+        };
+        parts.push(PatternPart {
+            chars: set,
+            min,
+            max: max.max(min),
+        });
+    }
+    parts
+}
+
+fn parse_quantifier(body: &str) -> (usize, usize) {
+    match body.split_once(',') {
+        None => {
+            let n = body.trim().parse().unwrap_or(1);
+            (n, n)
+        }
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().unwrap_or(0);
+            let hi = hi.trim().parse().unwrap_or(lo + 8);
+            (lo, hi)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: namespace
+// ---------------------------------------------------------------------------
+
+/// Namespaced strategy constructors, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use core::ops::Range;
+
+        /// Strategy for `Vec<T>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates vectors whose elements come from `element` and whose
+        /// length is uniform in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                if self.size.start >= self.size.end {
+                    return None;
+                }
+                let span = (self.size.end - self.size.start) as u64;
+                let n = self.size.start + rng.below(span) as usize;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(self.element.generate(rng)?);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly from a fixed list.
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// Chooses one of `items` uniformly (clones it).
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> Option<T> {
+                if self.items.is_empty() {
+                    return None;
+                }
+                Some(self.items[rng.below(self.items.len() as u64) as usize].clone())
+            }
+        }
+    }
+}
+
+/// Number of cases each `proptest!` test runs (env `PROPTEST_CASES`
+/// overrides the default of 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Stable 64-bit hash of a test name, used to give every test its own
+/// deterministic stream.
+pub fn seed_for_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests. Each function body runs for many generated
+/// cases; bindings are declared as `pattern in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            // The user-side idiom (matching real proptest) writes `#[test]`
+            // inside the macro block, so it arrives via `$meta` — emitting
+            // another one here would register every test twice.
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::case_count();
+                let mut __seed = $crate::seed_for_name(stringify!($name));
+                let mut __done: u64 = 0;
+                let mut __rejects: u64 = 0;
+                while __done < __cases {
+                    __seed = __seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut __rng = $crate::TestRng::from_seed(__seed);
+                    let __vals = (
+                        $(
+                            match $crate::Strategy::generate(&($strat), &mut __rng) {
+                                ::std::option::Option::Some(v) => v,
+                                ::std::option::Option::None => {
+                                    __rejects += 1;
+                                    if __rejects > 4096 {
+                                        panic!(
+                                            "proptest stub: too many rejected cases in {}",
+                                            stringify!($name)
+                                        );
+                                    }
+                                    continue;
+                                }
+                            }
+                        ),+ ,
+                    );
+                    let __result = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        let ( $($pat),+ , ) = __vals;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {
+                            __done += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            __rejects += 1;
+                            if __rejects > 4096 {
+                                panic!(
+                                    "proptest stub: too many rejected cases in {}",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed (seed {:#x}, case {} of {}): {}",
+                                __seed, __done, __cases, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}) — {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_pattern_parses() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..50 {
+            let s = ".{0,120}".generate(&mut rng).unwrap();
+            assert!(s.chars().count() <= 120);
+            let t = "[a-z ,]{2,40}".generate(&mut rng).unwrap();
+            let n = t.chars().count();
+            assert!((2..=40).contains(&n), "{t:?}");
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == ','));
+        }
+    }
+
+    proptest! {
+        fn ranges_in_bounds(a in 3usize..10, f in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        fn vec_and_select(v in prop::collection::vec(0u32..5, 1..9), pick in prop::sample::select(vec!["x", "y"])) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(pick == "x" || pick == "y");
+        }
+
+        fn tuples_and_maps((a, b) in (0u32..4, 0u32..4).prop_map(|(x, y)| (x + 10, y + 20))) {
+            prop_assert!((10..14).contains(&a));
+            prop_assert_eq!(b / 10, 2, "b was {}", b);
+        }
+
+        fn flat_map_and_filter(len in (2usize..6).prop_flat_map(|n| prop::collection::vec(0u32..100, n..n + 1)).prop_filter("nonempty", |v| !v.is_empty())) {
+            prop_assert!((2..6).contains(&len.len()));
+        }
+
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+}

@@ -1,0 +1,915 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so instead of the real
+//! serde data model (visitors, `Serializer`/`Deserializer` traits) this stub
+//! defines a single concrete JSON-like [`Value`] tree and two small traits:
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`];
+//! * [`Deserialize`] — rebuild `Self` from a `&Value`.
+//!
+//! The companion `serde_derive` stub generates impls of both for structs and
+//! enums, and the `serde_json` stub adds the text format (parser, printer,
+//! `json!`). The subset is self-consistent: anything serialized here
+//! round-trips here, and the external JSON syntax is standard, so swapping
+//! the real crates back in only changes private wire details (e.g. map key
+//! ordering).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization failure. A plain message type: the stub
+/// favors clear errors over machine-readable codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number. Integers are kept exact; floats use `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A negative (or any signed) integer.
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The number as `i64` if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(v) => Some(v),
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Float(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(v as i64),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as `u64` if exactly representable and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::UInt(v) => Some(v),
+            Number::Float(v) if v.fract() == 0.0 && v >= 0.0 && v < 1.9e19 => Some(v as u64),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s (the JSON object).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if the key
+    /// was already present (in which case insertion order is preserved).
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable access to the value stored under `key`, if any.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes and returns the value stored under `key`, if any.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON-like tree value: the single data model shared by the serde,
+/// serde_json, and derive stubs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable element list, if this is an `Array`.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable key/value map, if this is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an `Object`.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is an `Array`.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is a `String`.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is a `Number`.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Returns `Null` for missing keys / non-objects (serde_json behavior).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// Returns `Null` for out-of-range indexes / non-arrays.
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                let conv = $conv;
+                match self {
+                    Value::Number(n) => n == &conv(*other),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_num!(
+    i32 => |v: i32| Number::Int(v as i64),
+    i64 => Number::Int,
+    u32 => |v: u32| Number::UInt(v as u64),
+    u64 => Number::UInt,
+    usize => |v: usize| Number::UInt(v as u64),
+    f64 => Number::Float,
+);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Conversion into the stub data model. The derive macro generates this.
+pub trait Serialize {
+    /// Represents `self` as a [`Value`] tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Reconstruction from the stub data model. The derive macro generates this.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Marker alias mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($variant:ident : $as:ty : $($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::$variant(*self as $as))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(Int: i64: i8, i16, i32, i64, isize);
+impl_ser_int!(UInt: u64: u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            // serde_json cannot represent NaN/±inf; it emits null.
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        (*self as f64).to_json_value()
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![self.0.to_json_value(), self.1.to_json_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_json_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_json_value(),
+            self.1.to_json_value(),
+            self.2.to_json_value(),
+            self.3.to_json_value(),
+        ])
+    }
+}
+
+/// Map keys must serialize to a string or number; anything else is a bug in
+/// the caller's data model (mirrors serde_json's key restriction).
+fn key_string<K: Serialize>(key: &K) -> Result<String, Error> {
+    match key.to_json_value() {
+        Value::String(s) => Ok(s),
+        Value::Number(n) => Ok(print_number(&n)),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be a string or number, got {other:?}"
+        ))),
+    }
+}
+
+fn print_number(n: &Number) -> String {
+    match *n {
+        Number::Int(v) => v.to_string(),
+        Number::UInt(v) => v.to_string(),
+        Number::Float(v) => {
+            if v == v.trunc() && v.abs() < 1.0e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Sort by key so hash-map iteration order never leaks into output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_string(k).unwrap_or_else(|_| format!("{:?}", k.to_json_value())),
+                    v.to_json_value(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_string(k).unwrap_or_else(|_| format!("{:?}", k.to_json_value())),
+                        v.to_json_value(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_json_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_json_value).collect();
+        // Canonical order independent of hash iteration.
+        items.sort_by_key(|v| format!("{v:?}"));
+        Value::Array(items)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {value:?}")))
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty : $via:ident),* $(,)?) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.$via().ok_or_else(|| {
+                    Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        value
+                    ))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        concat!("integer out of range for ", stringify!($t), ": {}"),
+                        raw
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_int!(
+    i8: as_i64, i16: as_i64, i32: as_i64, i64: as_i64, isize: as_i64,
+    u8: as_u64, u16: as_u64, u32: as_u64, u64: as_u64, usize: as_u64,
+);
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            // Non-finite floats serialize to null; accept the round trip.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::custom(format!("expected f64, got {value:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {value:?}")))
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            _ => Err(Error::custom(format!("expected null, got {value:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+fn expect_array(value: &Value) -> Result<&Vec<Value>, Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        expect_array(value)?.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json_value(value)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+fn tuple_slot<'v>(items: &'v [Value], i: usize, arity: usize) -> Result<&'v Value, Error> {
+    items
+        .get(i)
+        .ok_or_else(|| Error::custom(format!("expected {arity}-tuple, got {} items", items.len())))
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items = expect_array(value)?;
+        Ok((
+            A::from_json_value(tuple_slot(items, 0, 2)?)?,
+            B::from_json_value(tuple_slot(items, 1, 2)?)?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items = expect_array(value)?;
+        Ok((
+            A::from_json_value(tuple_slot(items, 0, 3)?)?,
+            B::from_json_value(tuple_slot(items, 1, 3)?)?,
+            C::from_json_value(tuple_slot(items, 2, 3)?)?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize for (A, B, C, D) {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let items = expect_array(value)?;
+        Ok((
+            A::from_json_value(tuple_slot(items, 0, 4)?)?,
+            B::from_json_value(tuple_slot(items, 1, 4)?)?,
+            C::from_json_value(tuple_slot(items, 2, 4)?)?,
+            D::from_json_value(tuple_slot(items, 3, 4)?)?,
+        ))
+    }
+}
+
+fn expect_object(value: &Value) -> Result<&Map, Error> {
+    value
+        .as_object()
+        .ok_or_else(|| Error::custom(format!("expected object, got {value:?}")))
+}
+
+/// Deserializes a map key from its string form by routing it back through
+/// the [`Value`] model (so unit-enum and numeric keys work).
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    let as_string = Value::String(key.to_string());
+    if let Ok(k) = K::from_json_value(&as_string) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::from_json_value(&Value::Number(Number::UInt(n))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::from_json_value(&Value::Number(Number::Int(n))) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot deserialize map key {key:?}")))
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let obj = expect_object(value)?;
+        let mut out = HashMap::with_capacity_and_hasher(obj.len(), S::default());
+        for (k, v) in obj.iter() {
+            out.insert(key_from_string(k)?, V::from_json_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let obj = expect_object(value)?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj.iter() {
+            out.insert(key_from_string(k)?, V::from_json_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        expect_array(value)?.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        expect_array(value)?.iter().map(T::from_json_value).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support for derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Fetches and deserializes a struct field from an object. Missing keys are
+/// treated as `null` (so `Option` fields tolerate absent keys), and errors
+/// carry the type/field context. Used by derive-generated code; not public
+/// API.
+#[doc(hidden)]
+pub fn __get_field<T: Deserialize>(map: &Map, field: &str, ty: &str) -> Result<T, Error> {
+    match map.get(field) {
+        Some(v) => T::from_json_value(v)
+            .map_err(|e| Error::custom(format!("{ty}.{field}: {e}"))),
+        None => T::from_json_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("{ty}: missing field `{field}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::Bool(true));
+        m.insert("a".into(), Value::Null);
+        m.insert("b".into(), Value::Bool(false));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn value_comparisons_with_primitives() {
+        let v = Value::Number(Number::UInt(420));
+        assert!(v == 420u64);
+        assert!(v == 420i32);
+        assert!(v == 420usize);
+        let s = Value::String("LineString".into());
+        assert!(s == "LineString");
+        let f = Value::Number(Number::Float(1.0));
+        assert!(f == 1.0f64);
+        assert!(f == 1i32);
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let some = Some(3u32).to_json_value();
+        let none = Option::<u32>::None.to_json_value();
+        assert_eq!(Option::<u32>::from_json_value(&some).unwrap(), Some(3));
+        assert_eq!(Option::<u32>::from_json_value(&none).unwrap(), None);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("zeta".to_string(), 1u32);
+        m.insert("alpha".to_string(), 2u32);
+        let v = m.to_json_value();
+        let keys: Vec<&String> = v.as_object().unwrap().keys().collect();
+        assert_eq!(keys, ["alpha", "zeta"]);
+        let back = HashMap::<String, u32>::from_json_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_and_back_to_nan() {
+        assert_eq!(f64::NAN.to_json_value(), Value::Null);
+        assert!(f64::from_json_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn tuple_and_array_round_trip() {
+        let t = ("x".to_string(), 3usize);
+        let back: (String, usize) = Deserialize::from_json_value(&t.to_json_value()).unwrap();
+        assert_eq!(back, t);
+        let a = [1.5f64, -2.5];
+        let back: [f64; 2] = Deserialize::from_json_value(&a.to_json_value()).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,597 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Because `syn`/`quote` are unavailable in this environment, the derives
+//! parse the item declaration directly from the raw `proc_macro` token
+//! stream and emit code by string construction. Supported shapes — which
+//! cover every derived type in this workspace — are:
+//!
+//! * structs with named fields (including generic type parameters);
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! * unit structs;
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like real serde).
+//!
+//! `#[serde(...)]` attributes are not interpreted; none are used in this
+//! workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One generic parameter of the deriving item.
+struct GenericParam {
+    /// Full declaration as written, e.g. `T: Clone` or `'a` or `const N: usize`.
+    decl: String,
+    /// Bare name used in the type argument list, e.g. `T`, `'a`, `N`.
+    name: String,
+    /// Whether this is a type parameter (gets the extra trait bound).
+    is_type: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    kind: ItemKind,
+}
+
+/// Derives the stub `serde::Serialize` (a `to_json_value` method).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = gen_serialize(&item);
+    code.parse().unwrap_or_else(|e| {
+        compile_error(&format!("serde_derive stub produced invalid code: {e:?}"))
+    })
+}
+
+/// Derives the stub `serde::Deserialize` (a `from_json_value` constructor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = gen_deserialize(&item);
+    code.parse().unwrap_or_else(|e| {
+        compile_error(&format!("serde_derive stub produced invalid code: {e:?}"))
+    })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(id) if id.to_string() == word)
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Advances past any `#[...]` attributes starting at `i`.
+fn skip_attributes(tts: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tts.len()
+        && is_punct(&tts[i], '#')
+        && matches!(&tts[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)` starting at `i`.
+fn skip_visibility(tts: &[TokenTree], mut i: usize) -> usize {
+    if i < tts.len() && is_ident(&tts[i], "pub") {
+        i += 1;
+        if i < tts.len()
+            && matches!(&tts[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_visibility(&tts, skip_attributes(&tts, 0));
+
+    let is_enum = if i < tts.len() && is_ident(&tts[i], "struct") {
+        false
+    } else if i < tts.len() && is_ident(&tts[i], "enum") {
+        true
+    } else {
+        return Err("serde_derive stub: expected `struct` or `enum`".into());
+    };
+    i += 1;
+
+    let name = match tts.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive stub: expected item name".into()),
+    };
+    i += 1;
+
+    let (generics, next) = parse_generics(&tts, i)?;
+    i = next;
+
+    if i < tts.len() && is_ident(&tts[i], "where") {
+        return Err(format!(
+            "serde_derive stub: `where` clauses are not supported (on `{name}`)"
+        ));
+    }
+
+    let kind = if is_enum {
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("serde_derive stub: expected enum body for `{name}`")),
+        }
+    } else {
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(tt) if is_punct(tt, ';') => ItemKind::UnitStruct,
+            None => ItemKind::UnitStruct,
+            _ => return Err(format!("serde_derive stub: expected struct body for `{name}`")),
+        }
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        kind,
+    })
+}
+
+/// Parses an optional `<...>` generics list starting at `i`; returns the
+/// params and the index just past the closing `>`.
+fn parse_generics(tts: &[TokenTree], i: usize) -> Result<(Vec<GenericParam>, usize), String> {
+    if i >= tts.len() || !is_punct(&tts[i], '<') {
+        return Ok((Vec::new(), i));
+    }
+    let mut depth = 1usize;
+    let mut j = i + 1;
+    let mut current: Vec<&TokenTree> = Vec::new();
+    let mut params: Vec<GenericParam> = Vec::new();
+    while j < tts.len() {
+        if is_punct(&tts[j], '<') {
+            depth += 1;
+        } else if is_punct(&tts[j], '>') {
+            depth -= 1;
+            if depth == 0 {
+                if !current.is_empty() {
+                    params.push(param_from_tokens(&current)?);
+                }
+                return Ok((params, j + 1));
+            }
+        } else if depth == 1 && is_punct(&tts[j], ',') {
+            if !current.is_empty() {
+                params.push(param_from_tokens(&current)?);
+            }
+            current = Vec::new();
+            j += 1;
+            continue;
+        }
+        current.push(&tts[j]);
+        j += 1;
+    }
+    Err("serde_derive stub: unclosed generics list".into())
+}
+
+fn param_from_tokens(tokens: &[&TokenTree]) -> Result<GenericParam, String> {
+    let decl = tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    // Lifetime: `'` `a` [: bounds]
+    if is_punct(tokens[0], '\'') {
+        let name = match tokens.get(1) {
+            Some(TokenTree::Ident(id)) => format!("'{id}"),
+            _ => return Err("serde_derive stub: malformed lifetime param".into()),
+        };
+        return Ok(GenericParam {
+            decl,
+            name,
+            is_type: false,
+        });
+    }
+    // Const: `const` NAME `:` ty
+    if is_ident(tokens[0], "const") {
+        let name = match tokens.get(1) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde_derive stub: malformed const param".into()),
+        };
+        return Ok(GenericParam {
+            decl,
+            name,
+            is_type: false,
+        });
+    }
+    // Type: NAME [: bounds] [= default]
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive stub: malformed generic param".into()),
+    };
+    // Drop any `= default` from the declaration (not legal in impl headers).
+    let decl = match decl.split_once('=') {
+        Some((head, _)) => head.trim().to_string(),
+        None => decl,
+    };
+    Ok(GenericParam {
+        decl,
+        name,
+        is_type: true,
+    })
+}
+
+/// Parses `name: Type, ...` bodies, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tts.len() {
+        i = skip_visibility(&tts, skip_attributes(&tts, i));
+        if i >= tts.len() {
+            break;
+        }
+        let name = match &tts[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected field name, got `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        if i >= tts.len() || !is_punct(&tts[i], ':') {
+            return Err(format!(
+                "serde_derive stub: expected `:` after field `{name}`"
+            ));
+        }
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tts.len() {
+            if is_punct(&tts[i], '<') {
+                depth += 1;
+            } else if is_punct(&tts[i], '>') {
+                depth -= 1;
+            } else if depth == 0 && is_punct(&tts[i], ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    if tts.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    let mut saw_trailing_comma = false;
+    for (i, tt) in tts.iter().enumerate() {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(tt, ',') {
+            if i + 1 == tts.len() {
+                saw_trailing_comma = true;
+            } else {
+                count += 1;
+            }
+        }
+        let _ = saw_trailing_comma;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tts.len() {
+        i = skip_attributes(&tts, i);
+        if i >= tts.len() {
+            break;
+        }
+        let name = match &tts[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive stub: expected variant name, got `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        while i < tts.len() && !is_punct(&tts[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<...> Trait for Name<...>` header pieces: (impl generics, type args).
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_generics = item
+        .generics
+        .iter()
+        .map(|p| {
+            if p.is_type {
+                if p.decl.contains(':') {
+                    format!("{} + {bound}", p.decl)
+                } else {
+                    format!("{}: {bound}", p.decl)
+                }
+            } else {
+                p.decl.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let type_args = item
+        .generics
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    (format!("<{impl_generics}>"), format!("<{type_args}>"))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, type_args) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut b = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "__map.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Object(__map)");
+            b
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         __map.insert(::std::string::String::from({vn:?}), \
+                         ::serde::Serialize::to_json_value(__f0));\n\
+                         ::serde::Value::Object(__map)\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_json_value(__f{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(::std::vec![{items}]));\n\
+                             ::serde::Value::Object(__map)\n}}\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{type_args} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, type_args) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut b = format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(::std::format!(\
+                 \"expected object for {name}, got {{:?}}\", __value)))?;\n"
+            );
+            b.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                b.push_str(&format!(
+                    "{f}: ::serde::__get_field(__obj, {f:?}, {name:?})?,\n"
+                ));
+            }
+            b.push_str("})");
+            b
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__value)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let mut b = format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(::std::format!(\
+                 \"expected array for {name}, got {{:?}}\", __value)))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {n} elements for {name}, got {{}}\", \
+                 __items.len())));\n}}\n"
+            );
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            b.push_str(&format!("::std::result::Result::Ok({name}({items}))"));
+            b
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut b = String::from("if let ::std::option::Option::Some(__s) = __value.as_str() {\nmatch __s {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    b.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            b.push_str("_ => {}\n}\n}\n");
+            b.push_str("if let ::std::option::Option::Some(__obj) = __value.as_object() {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "if let ::std::option::Option::Some(__inner) = __obj.get({vn:?}) {{\n\
+                         return ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_json_value(__inner)?));\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_json_value(&__items[{i}])?")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        b.push_str(&format!(
+                            "if let ::std::option::Option::Some(__inner) = __obj.get({vn:?}) {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array variant payload\"))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple variant arity\"));\n}}\n\
+                             return ::std::result::Result::Ok({name}::{vn}({items}));\n}}\n"
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = format!(
+                            "let __vobj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object variant payload\"))?;\n\
+                             return ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::__get_field(__vobj, {f:?}, {name:?})?,\n"
+                            ));
+                        }
+                        inner.push_str("});\n");
+                        b.push_str(&format!(
+                            "if let ::std::option::Option::Some(__inner) = __obj.get({vn:?}) {{\n\
+                             {inner}}}\n"
+                        ));
+                    }
+                }
+            }
+            b.push_str("}\n");
+            b.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"no variant of {name} matches {{:?}}\", __value)))"
+            ));
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{type_args} {{\n\
+         fn from_json_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

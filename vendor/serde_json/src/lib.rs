@@ -1,0 +1,566 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses.
+//!
+//! Builds on the `serde` stub's concrete [`Value`] data model and adds the
+//! JSON text format: a recursive-descent parser, compact and pretty
+//! printers, the `to_string`/`from_str`/`to_value`/`from_value` entry
+//! points, and a `json!` macro supporting nested object/array literals with
+//! arbitrary Rust expressions in value position.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value into the [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Deserializes a typed value out of a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::from_json_value(&value)
+}
+
+/// Escapes a serde-level opaque function so the `json!` macro can serialize
+/// expression operands. Not public API.
+#[doc(hidden)]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::Int(v) => out.push_str(&v.to_string()),
+        Number::UInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if !v.is_finite() {
+                out.push_str("null");
+            } else if v == v.trunc() && v.abs() < 1.0e15 {
+                // Keep a decimal point so the value re-parses as a float,
+                // matching serde_json's formatting of whole floats.
+                out.push_str(&format!("{v:.1}"));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Maximum nesting depth accepted by the parser. Malformed or adversarial
+/// input (e.g. a corrupted fault-plan file) must fail cleanly, not blow the
+/// stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        Error::custom(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.error("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let val = self.value(depth + 1)?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(self.error("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(&format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.error("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.error("control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.error("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.error("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first >= 0xF0 {
+        4
+    } else if first >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-like literal. Object and array literals
+/// may nest; value positions accept arbitrary Rust expressions implementing
+/// the stub `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_list!([] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __json_map = $crate::Map::new();
+        $crate::json_entries!(__json_map () $($tt)+);
+        $crate::Value::Object(__json_map)
+    }};
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+/// Internal: accumulates array elements. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_list {
+    ([$($elems:expr,)*]) => { ::std::vec![$($elems),*] };
+    ([$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_list!([$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_list!([$($elems,)* $crate::json!({ $($obj)* }),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_list!([$($elems,)* $crate::json!([ $($arr)* ]),] $($($rest)*)?)
+    };
+    ([$($elems:expr,)*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_list!([$($elems,)* $crate::json!($next),] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulates object entries. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident ()) => {};
+    ($map:ident () $key:tt : $($rest:tt)*) => {
+        $crate::json_entries!($map ($key) $($rest)*)
+    };
+    ($map:ident ($key:tt) null $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_entries!($map () $($($rest)*)?);
+    };
+    ($map:ident ($key:tt) { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!({ $($obj)* }));
+        $crate::json_entries!($map () $($($rest)*)?);
+    };
+    ($map:ident ($key:tt) [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!([ $($arr)* ]));
+        $crate::json_entries!($map () $($($rest)*)?);
+    };
+    ($map:ident ($key:tt) $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($value));
+        $crate::json_entries!($map () $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_round_trip() {
+        let text = r#"{"a": [1, 2.5, -3, true, null, "s\n"], "b": {"c": 1e3}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][0], 1u64);
+        assert_eq!(v["a"][1], 2.5f64);
+        assert_eq!(v["a"][2], -3i64);
+        assert_eq!(v["a"][3], true);
+        assert!(v["a"][4].is_null());
+        assert_eq!(v["a"][5], "s\n");
+        assert_eq!(v["b"]["c"], 1000.0f64);
+        let printed = to_string(&v).unwrap();
+        let again: Value = from_str(&printed).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn pretty_print_is_reparseable() {
+        let v = json!({"k": [1, {"n": null}], "s": "x"});
+        let printed = to_string_pretty(&v).unwrap();
+        assert!(printed.contains('\n'));
+        let again: Value = from_str(&printed).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "conduit";
+        let count = 3usize;
+        let v = json!({
+            "type": "Feature",
+            "name": name,
+            "count": count,
+            "half": count as f64 / 2.0,
+            "tags": ["a", "b"],
+            "coords": [1.5, -2.5],
+            "nested": { "empty": {}, "list": [], "flag": true, "none": null },
+            "pick": match count { 3 => "three", _ => "other" },
+        });
+        assert_eq!(v["type"], "Feature");
+        assert_eq!(v["name"], "conduit");
+        assert_eq!(v["count"], 3usize);
+        assert_eq!(v["half"], 1.5f64);
+        assert_eq!(v["tags"].as_array().unwrap().len(), 2);
+        assert_eq!(v["coords"][1], -2.5f64);
+        assert!(v["nested"]["empty"].is_object());
+        assert!(v["nested"]["list"].is_array());
+        assert_eq!(v["nested"]["flag"], true);
+        assert!(v["nested"]["none"].is_null());
+        assert_eq!(v["pick"], "three");
+        assert!(v.get("missing").is_none());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""é😀 café""#).unwrap();
+        assert_eq!(v, "é😀 café");
+        let printed = to_string(&v).unwrap();
+        let again: Value = from_str(&printed).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn parse_errors_are_errors_not_panics() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,,2]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("{\"a\":1} x").is_err());
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(from_str::<Value>(&deep).is_err());
+    }
+}
