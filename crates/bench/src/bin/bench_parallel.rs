@@ -1,0 +1,112 @@
+//! Serial-vs-parallel wall-clock measurement for the four rayon-backed hot
+//! paths (DESIGN.md §7), recorded to `BENCH_parallel.json` by
+//! `scripts/bench_gate.sh`.
+//!
+//! Unlike the Criterion benches this binary is cheap enough to run in CI:
+//! each stage is timed over a few iterations pinned to one thread and again
+//! at the environment's thread count, and the speedups are printed as JSON
+//! on stdout. On boxes with fewer than 4 cores the numbers are recorded but
+//! the gate script does not enforce a speedup floor — with a single core
+//! the parallel arms legitimately tie (or slightly trail) the serial ones.
+
+use std::time::Instant;
+
+use intertubes::map::{build_map, PipelineConfig};
+use intertubes::mitigation::latency_study;
+use intertubes::parallel::{thread_count, with_threads};
+use intertubes::probes::overlay_campaign;
+use intertubes::risk::{hamming_heatmap, RiskMatrix};
+use intertubes_bench::study;
+
+const ITERS: usize = 3;
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Median wall-clock milliseconds over `ITERS` runs at `threads` threads.
+fn time_ms<R>(threads: usize, mut run: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            with_threads(threads, || {
+                let t0 = Instant::now();
+                std::hint::black_box(run());
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let threads = thread_count().max(2);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let s = study();
+    let published = s.world.publish_maps();
+    let campaign = s.campaign(Some(10_000));
+    let isps = s.mapped_isp_names();
+
+    let mut rows = Vec::new();
+    let mut measure = |name: &str, run: &mut dyn FnMut()| {
+        let serial_ms = time_ms(1, &mut *run);
+        let parallel_ms = time_ms(threads, &mut *run);
+        let speedup = if parallel_ms > 0.0 {
+            serial_ms / parallel_ms
+        } else {
+            1.0
+        };
+        eprintln!(
+            "{name:<14} serial {serial_ms:>8.1} ms  parallel({threads}) {parallel_ms:>8.1} ms  \
+             speedup {speedup:.2}x"
+        );
+        rows.push(serde_json::json!({
+            "stage": name,
+            "serial_ms": round3(serial_ms),
+            "parallel_ms": round3(parallel_ms),
+            "speedup": round3(speedup),
+        }));
+    };
+
+    measure("pipeline", &mut || {
+        build_map(
+            &published,
+            &s.corpus,
+            &s.world.cities,
+            &s.world.roads,
+            &s.world.rails,
+            &PipelineConfig::default(),
+        );
+    });
+    measure("overlay", &mut || {
+        overlay_campaign(&s.world, &s.built.map, &campaign);
+    });
+    measure("risk_hamming", &mut || {
+        let rm = RiskMatrix::build(&s.built.map, &isps);
+        hamming_heatmap(&rm);
+    });
+    measure("latency_paths", &mut || {
+        latency_study(
+            &s.built.map,
+            &s.world.cities,
+            &s.world.roads,
+            &s.world.rails,
+            &s.config.latency,
+        );
+    });
+
+    let doc = serde_json::json!({
+        "threads": threads,
+        "cores": cores,
+        "iters_per_arm": ITERS,
+        "stages": rows,
+    });
+    match serde_json::to_string_pretty(&doc) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("bench_parallel: failed to serialize results: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,7 +7,8 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use intertubes::probes::{Campaign, Direction, Overlay};
 use intertubes::risk::{
@@ -23,13 +24,20 @@ pub fn study() -> &'static Study {
 }
 
 /// A shared reference campaign + overlay at the given probe count.
+///
+/// Cached per probe count: callers asking for different volumes get
+/// different campaigns (a single `OnceLock` here once served whatever
+/// count happened to be requested first, silently mislabeling every later
+/// experiment's probe volume).
 pub fn overlay(probes: usize) -> &'static (Campaign, Overlay) {
-    static OV: OnceLock<(Campaign, Overlay)> = OnceLock::new();
-    OV.get_or_init(|| {
+    static CACHE: OnceLock<Mutex<HashMap<usize, &'static (Campaign, Overlay)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    *cache.entry(probes).or_insert_with(|| {
         let s = study();
         let campaign = s.campaign(Some(probes));
         let overlay = s.overlay(&campaign);
-        (campaign, overlay)
+        Box::leak(Box::new((campaign, overlay)))
     })
 }
 
@@ -508,6 +516,26 @@ pub const EXPERIMENTS: &[&str] = &[
     "ext-resilience",
     "ext-exchange",
 ];
+
+#[cfg(test)]
+mod tests {
+    use super::overlay;
+
+    #[test]
+    fn overlay_cache_is_keyed_by_probe_count() {
+        let (small_campaign, _) = overlay(500);
+        let (large_campaign, _) = overlay(2_000);
+        assert!(
+            small_campaign.traces.len() < large_campaign.traces.len(),
+            "distinct probe counts must produce distinct campaigns \
+             ({} vs {})",
+            small_campaign.traces.len(),
+            large_campaign.traces.len()
+        );
+        // Repeat lookups hit the cache: same allocation, not a rebuild.
+        assert!(std::ptr::eq(small_campaign, &overlay(500).0));
+    }
+}
 
 /// Runs one experiment by id.
 pub fn run(id: &str) {

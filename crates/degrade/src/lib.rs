@@ -51,7 +51,10 @@ impl std::fmt::Display for DegradationPolicy {
 }
 
 /// What a stage did with the malformed items of one kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The `Ord` impl (variant order) is part of the report's canonical event
+/// ordering — see [`DegradationReport::note`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DegradationAction {
     /// Items were removed from the dataset.
     Dropped,
@@ -87,10 +90,10 @@ pub struct DegradationEvent {
     pub count: usize,
 }
 
-/// The ordered degradation log of one pipeline run.
+/// The canonical degradation log of one pipeline run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct DegradationReport {
-    /// Aggregated events, in first-observation order.
+    /// Aggregated events, kept sorted by (stage, action, reason).
     pub events: Vec<DegradationEvent>,
 }
 
@@ -103,25 +106,39 @@ impl DegradationReport {
     /// Records `count` items handled at `stage` via `action` for `reason`.
     /// A zero count is a no-op; repeated observations with the same
     /// (stage, action, reason) key aggregate into one event.
+    ///
+    /// Events are kept sorted by (stage, action, reason), so a report's
+    /// content depends only on the multiset of observations — never on the
+    /// order stages (or parallel shards) happened to record them. This
+    /// makes [`DegradationReport::merge`] associative and commutative, a
+    /// requirement of the parallel determinism contract (DESIGN.md §7).
     pub fn note(&mut self, stage: &str, action: DegradationAction, reason: &str, count: usize) {
         if count == 0 {
             return;
         }
-        for ev in &mut self.events {
-            if ev.stage == stage && ev.action == action && ev.reason == reason {
-                ev.count += count;
-                return;
-            }
+        let key = (stage, action, reason);
+        match self
+            .events
+            .binary_search_by(|ev| (ev.stage.as_str(), ev.action, ev.reason.as_str()).cmp(&key))
+        {
+            Ok(i) => self.events[i].count += count,
+            Err(i) => self.events.insert(
+                i,
+                DegradationEvent {
+                    stage: stage.to_string(),
+                    action,
+                    reason: reason.to_string(),
+                    count,
+                },
+            ),
         }
-        self.events.push(DegradationEvent {
-            stage: stage.to_string(),
-            action,
-            reason: reason.to_string(),
-            count,
-        });
     }
 
-    /// Appends all events of `other` into `self` (aggregating same keys).
+    /// Folds all events of `other` into `self` (aggregating same keys).
+    ///
+    /// Order-independent: `a.merge(b)` and `b.merge(a)` produce equal
+    /// reports, and any grouping of shard reports merges to the same
+    /// result.
     pub fn merge(&mut self, other: DegradationReport) {
         for ev in other.events {
             self.note(&ev.stage, ev.action, &ev.reason, ev.count);
@@ -223,6 +240,38 @@ mod tests {
         assert!(text.contains("map.step2"));
         assert!(text.contains("no-evidence"));
         assert!(text.contains('7'));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let observations = [
+            ("overlay", DegradationAction::Dropped, "unroutable", 3),
+            ("map.step1", DegradationAction::Repaired, "geometry", 2),
+            ("overlay", DegradationAction::Dropped, "unroutable", 1),
+            ("map.step1", DegradationAction::Dropped, "geometry", 5),
+        ];
+        let mut forward = DegradationReport::new();
+        for (s, a, r, c) in observations {
+            forward.note(s, a, r, c);
+        }
+        let mut backward = DegradationReport::new();
+        for (s, a, r, c) in observations.into_iter().rev() {
+            backward.note(s, a, r, c);
+        }
+        assert_eq!(forward, backward);
+        // Merging in either direction yields the same report too.
+        let mut ab = forward.clone();
+        ab.merge(backward.clone());
+        let mut ba = backward;
+        ba.merge(forward);
+        assert_eq!(ab, ba);
+        // And events come out in canonical key order.
+        for w in ab.events.windows(2) {
+            assert!(
+                (&w[0].stage, w[0].action, &w[0].reason)
+                    < (&w[1].stage, w[1].action, &w[1].reason)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Batch path enumeration over independent source/target pairs.
+//!
+//! All-pairs analyses (the §5.3 latency study, mitigation scans) query the
+//! same read-only graph for many unrelated pairs; each query is a pure
+//! function of the graph and the pair, so the batch fans out one contiguous
+//! pair chunk per task and returns results in input order. Output is
+//! byte-identical to mapping the serial routine over the slice (DESIGN.md
+//! §7).
+
+use crate::{dijkstra, yen_k_shortest, EdgeId, GraphError, MultiGraph, NodeId, Path};
+
+/// Shortest path for every pair, in input order.
+///
+/// Each element is exactly what [`dijkstra`] returns for that pair.
+pub fn par_shortest_paths<N: Sync, E: Sync>(
+    g: &MultiGraph<N, E>,
+    pairs: &[(NodeId, NodeId)],
+    cost: impl Fn(EdgeId) -> f64 + Sync,
+) -> Vec<Result<Option<Path>, GraphError>> {
+    intertubes_parallel::par_map(pairs, |&(s, t)| dijkstra(g, s, t, &cost))
+}
+
+/// Yen's k cheapest loopless paths for every pair, in input order.
+///
+/// Each element is exactly what [`yen_k_shortest`] returns for that pair.
+pub fn par_yen_k_shortest<N: Sync, E: Sync>(
+    g: &MultiGraph<N, E>,
+    pairs: &[(NodeId, NodeId)],
+    k: usize,
+    cost: impl Fn(EdgeId) -> f64 + Sync,
+) -> Vec<Result<Vec<Path>, GraphError>> {
+    intertubes_parallel::par_map(pairs, |&(s, t)| yen_k_shortest(g, s, t, k, &cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of `n` nodes with unit edges plus one heavy chord.
+    fn ring(n: u32) -> MultiGraph<(), f64> {
+        let mut g = MultiGraph::with_capacity(n as usize, n as usize + 1);
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n), 1.0);
+        }
+        g.add_edge(NodeId(0), NodeId(n / 2), 10.0);
+        g
+    }
+
+    #[test]
+    fn batch_matches_serial_dijkstra() {
+        let g = ring(12);
+        let pairs: Vec<(NodeId, NodeId)> = (0..12u32)
+            .flat_map(|a| (0..12u32).map(move |b| (NodeId(a), NodeId(b))))
+            .collect();
+        let cost = |e: EdgeId| *g.edge(e);
+        let batch = par_shortest_paths(&g, &pairs, cost);
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let serial = dijkstra(&g, s, t, cost).unwrap();
+            let parallel = batch[i].as_ref().unwrap();
+            assert_eq!(
+                serial.as_ref().map(|p| (&p.nodes, p.cost)),
+                parallel.as_ref().map(|p| (&p.nodes, p.cost)),
+                "pair {s:?}->{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_yen() {
+        let g = ring(8);
+        let pairs: Vec<(NodeId, NodeId)> =
+            (1..8u32).map(|b| (NodeId(0), NodeId(b))).collect();
+        let cost = |e: EdgeId| *g.edge(e);
+        let batch = par_yen_k_shortest(&g, &pairs, 3, cost);
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let serial = yen_k_shortest(&g, s, t, 3, cost).unwrap();
+            let parallel = batch[i].as_ref().unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (sp, pp) in serial.iter().zip(parallel) {
+                assert_eq!(sp.nodes, pp.nodes);
+                assert_eq!(sp.edges, pp.edges);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_errors_propagate_in_order() {
+        let g = ring(4);
+        let pairs = [(NodeId(0), NodeId(99)), (NodeId(0), NodeId(1))];
+        let batch = par_shortest_paths(&g, &pairs, |e| *g.edge(e));
+        assert!(batch[0].is_err());
+        assert!(batch[1].is_ok());
+    }
+}

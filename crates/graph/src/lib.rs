@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod connectivity;
 mod dijkstra;
 mod multigraph;
 mod path;
 mod yen;
 
+pub use batch::{par_shortest_paths, par_yen_k_shortest};
 pub use connectivity::{
     articulation_points, bridges, connected_components, is_connected, stoer_wagner_min_cut,
 };

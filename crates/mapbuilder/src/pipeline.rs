@@ -21,7 +21,7 @@ use intertubes_records::{gather_pair_evidence, Corpus};
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::same_conduit;
-use crate::model::{FiberMap, MapConduit, MapConduitId, Provenance, Tenancy, TenancySource};
+use crate::model::{FiberMap, MapConduit, MapConduitId, MapNodeId, Provenance, Tenancy, TenancySource};
 use crate::MapError;
 
 /// Pipeline tuning parameters.
@@ -137,13 +137,76 @@ fn report(step: u8, map: &FiberMap) -> StepReport {
     }
 }
 
+/// A geocoded link awaiting clustering: the per-ISP snap phase of step 1
+/// resolves nodes serially (node ids are assignment-order-sensitive), then
+/// clustering fans out per city pair.
+struct PendingGeocoded {
+    /// Global arrival index across all published links (defines conduit
+    /// id assignment order, exactly as in the serial formulation).
+    arrival: usize,
+    isp: String,
+    na: MapNodeId,
+    nb: MapNodeId,
+    geometry: Polyline,
+}
+
+/// One conduit produced by clustering a pair group, before global id
+/// assignment.
+struct LocalConduit {
+    /// Arrival index of the link that created the conduit.
+    created: usize,
+    a: MapNodeId,
+    b: MapNodeId,
+    geometry: Polyline,
+    /// Tenant ISPs in insertion order (sorted at materialization).
+    tenants: Vec<String>,
+}
+
+fn sorted_tenancies(names: &[String], source: TenancySource) -> Vec<Tenancy> {
+    let mut tenants: Vec<Tenancy> = names
+        .iter()
+        .map(|isp| Tenancy {
+            isp: isp.clone(),
+            source,
+        })
+        .collect();
+    tenants.sort_by(|x, y| x.isp.cmp(&y.isp));
+    tenants
+}
+
+/// Groups links by normalized pair key, preserving first-arrival order of
+/// groups and arrival order within each group.
+fn group_by_pair<T>(links: Vec<((String, String), T)>) -> Vec<((String, String), Vec<T>)> {
+    let mut index: HashMap<(String, String), usize> = HashMap::new();
+    let mut groups: Vec<((String, String), Vec<T>)> = Vec::new();
+    for (key, link) in links {
+        match index.get(&key) {
+            Some(&g) => groups[g].1.push(link),
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push((key, vec![link]));
+            }
+        }
+    }
+    groups
+}
+
 /// Step 1: ingest geocoded maps, clustering link geometries into conduits.
+///
+/// Links of different city pairs never cluster together (the candidate set
+/// is always the pair's own conduits), so after a serial node-resolution
+/// prepass the geometry clustering — the hot part — fans out one city pair
+/// per task. Conduits are then materialized in arrival order of their
+/// creating link, which reproduces the serial id assignment byte for byte.
 fn step1(
     map: &mut FiberMap,
     pair_index: &mut HashMap<(String, String), Vec<MapConduitId>>,
     published: &[PublishedMap],
     cfg: &PipelineConfig,
 ) {
+    // Serial per-ISP snap phase: node creation must follow arrival order.
+    let mut arrival = 0usize;
+    let mut pending: Vec<((String, String), PendingGeocoded)> = Vec::new();
     for pm in published.iter().filter(|m| m.kind == MapKind::Geocoded) {
         for link in &pm.links {
             // Sanitization guarantees geometry on geocoded links; a link
@@ -153,40 +216,68 @@ fn step1(
             };
             let na = map.ensure_node(&link.a, geometry.start());
             let nb = map.ensure_node(&link.b, geometry.end());
-            let key = pair_key(&link.a, &link.b);
-            let candidates = pair_index.entry(key).or_default();
-            let mut joined = false;
-            for cid in candidates.iter() {
-                let c = &mut map.conduits[cid.index()];
-                if same_conduit(&c.geometry, &geometry, cfg.cluster_km) {
-                    if !c.has_tenant(&pm.isp) {
-                        c.tenants.push(Tenancy {
-                            isp: pm.isp.clone(),
-                            source: TenancySource::PublishedMap,
-                        });
-                        c.tenants.sort_by(|x, y| x.isp.cmp(&y.isp));
+            pending.push((
+                pair_key(&link.a, &link.b),
+                PendingGeocoded {
+                    arrival,
+                    isp: pm.isp.clone(),
+                    na,
+                    nb,
+                    geometry,
+                },
+            ));
+            arrival += 1;
+        }
+    }
+    let groups = group_by_pair(pending);
+
+    // Parallel clustering, one pair group per task.
+    let clustered: Vec<Vec<LocalConduit>> =
+        intertubes_parallel::par_map(&groups, |(_key, links)| {
+            let mut local: Vec<LocalConduit> = Vec::new();
+            for link in links {
+                let mut joined = false;
+                for c in local.iter_mut() {
+                    if same_conduit(&c.geometry, &link.geometry, cfg.cluster_km) {
+                        if !c.tenants.iter().any(|t| *t == link.isp) {
+                            c.tenants.push(link.isp.clone());
+                        }
+                        joined = true;
+                        break;
                     }
-                    joined = true;
-                    break;
+                }
+                if !joined {
+                    local.push(LocalConduit {
+                        created: link.arrival,
+                        a: link.na,
+                        b: link.nb,
+                        geometry: link.geometry.clone(),
+                        tenants: vec![link.isp.clone()],
+                    });
                 }
             }
-            if !joined {
-                let id = MapConduitId(map.conduits.len() as u32);
-                map.conduits.push(MapConduit {
-                    a: na,
-                    b: nb,
-                    geometry,
-                    tenants: vec![Tenancy {
-                        isp: pm.isp.clone(),
-                        source: TenancySource::PublishedMap,
-                    }],
-                    provenance: Provenance::Step1,
-                    validated: false,
-                    row: None,
-                });
-                candidates.push(id);
-            }
-        }
+            local
+        });
+
+    // Merge barrier: global conduit ids follow creating-link arrival order.
+    let mut all: Vec<((String, String), LocalConduit)> = groups
+        .iter()
+        .zip(clustered)
+        .flat_map(|((key, _), local)| local.into_iter().map(|c| (key.clone(), c)))
+        .collect();
+    all.sort_by_key(|(_, c)| c.created);
+    for (key, local) in all {
+        let id = MapConduitId(map.conduits.len() as u32);
+        map.conduits.push(MapConduit {
+            a: local.a,
+            b: local.b,
+            geometry: local.geometry,
+            tenants: sorted_tenancies(&local.tenants, TenancySource::PublishedMap),
+            provenance: Provenance::Step1,
+            validated: false,
+            row: None,
+        });
+        pair_index.entry(key).or_default().push(id);
     }
 }
 
@@ -199,25 +290,40 @@ fn records_pass(
     corpus: &Corpus,
     known_isps: &[String],
     cfg: &PipelineConfig,
-    eligible: impl Fn(&MapConduit) -> bool,
+    eligible: impl Fn(&MapConduit) -> bool + Sync,
 ) {
-    for ids in pair_index.values() {
-        let Some(first) = ids.first() else { continue };
+    // Pairs are independent: each mutates only its own conduits. Corpus
+    // evidence gathering — the hot part — fans out per pair; the apply
+    // phase below runs serially. Pair order is canonicalized by key so the
+    // pass is reproducible regardless of hash-map iteration order (the
+    // per-pair updates commute anyway, as pairs touch disjoint conduits).
+    let mut pairs: Vec<(&(String, String), &Vec<MapConduitId>)> = pair_index.iter().collect();
+    pairs.sort_by_key(|(key, _)| *key);
+
+    let evidence: Vec<Option<_>> = intertubes_parallel::par_map(&pairs, |(_, ids)| {
+        let first = ids.first()?;
         if !ids.iter().any(|id| eligible(&map.conduits[id.index()])) {
-            continue;
+            return None;
         }
-        let (a, b) = {
-            let c = &map.conduits[first.index()];
-            (
-                map.nodes[c.a.index()].label.clone(),
-                map.nodes[c.b.index()].label.clone(),
-            )
-        };
-        let ev = gather_pair_evidence(corpus, &a, &b);
+        let c = &map.conduits[first.index()];
+        let (a, b) = (
+            map.nodes[c.a.index()].label.as_str(),
+            map.nodes[c.b.index()].label.as_str(),
+        );
+        let ev = gather_pair_evidence(corpus, a, b);
         if !ev.is_validated() {
-            continue;
+            return None;
         }
-        let row = ev.dominant_row();
+        let confident: Vec<String> = ev
+            .confident_providers(cfg.confidence)
+            .into_iter()
+            .map(|isp| isp.to_string())
+            .collect();
+        Some((ev.dominant_row(), confident))
+    });
+
+    for ((_, ids), ev) in pairs.into_iter().zip(evidence) {
+        let Some((row, confident)) = ev else { continue };
         for id in ids {
             let c = &mut map.conduits[id.index()];
             if eligible(c) {
@@ -228,8 +334,7 @@ fn records_pass(
             }
         }
         // Infer additional tenants: attach to the pair's busiest conduit.
-        let confident = ev.confident_providers(cfg.confidence);
-        for isp in confident {
+        for isp in &confident {
             if !known_isps.iter().any(|k| k == isp) {
                 continue;
             }
@@ -255,8 +360,36 @@ fn records_pass(
     }
 }
 
+/// A POP-only link awaiting placement in step 3.
+struct PendingPop {
+    arrival: usize,
+    isp: String,
+    a_label: String,
+    b_label: String,
+    na: MapNodeId,
+    nb: MapNodeId,
+    la: GeoPoint,
+    lb: GeoPoint,
+}
+
+/// What a step-3 pair group decided: tenants to lease into existing
+/// conduits, plus brand-new conduits (with their creating-link arrival
+/// index, for global id assignment).
+struct PopGroupOutcome {
+    /// `(existing conduit, isp)` leases, in decision order.
+    leases: Vec<(MapConduitId, String)>,
+    new_conduits: Vec<LocalConduit>,
+}
+
 /// Step 3: add POP-only maps, joining existing conduits where possible and
 /// snapping new links onto the closest known right-of-way.
+///
+/// A POP-only link only ever touches its own city pair's conduits (leasing
+/// into the busiest, or creating a sibling), so after the serial per-ISP
+/// node-resolution prepass, placement fans out one pair group per task.
+/// Each group simulates the serial decision sequence over a snapshot of
+/// its pair's tenant counts; the merge barrier applies leases and appends
+/// new conduits in arrival order, reproducing serial ids exactly.
 fn step3(
     map: &mut FiberMap,
     pair_index: &mut HashMap<(String, String), Vec<MapConduitId>>,
@@ -265,6 +398,9 @@ fn step3(
     roads: &CorridorLookup,
     rails: &CorridorLookup,
 ) {
+    // Serial per-ISP snap phase: node creation follows arrival order.
+    let mut arrival = map.conduits.len(); // any monotone base works
+    let mut pending: Vec<((String, String), PendingPop)> = Vec::new();
     for pm in published.iter().filter(|m| m.kind == MapKind::PopOnly) {
         for link in &pm.links {
             let (Some(la), Some(lb)) = (gaz.location(&link.a), gaz.location(&link.b)) else {
@@ -272,47 +408,117 @@ fn step3(
             };
             let na = map.ensure_node(&link.a, la);
             let nb = map.ensure_node(&link.b, lb);
-            let key = pair_key(&link.a, &link.b);
+            pending.push((
+                pair_key(&link.a, &link.b),
+                PendingPop {
+                    arrival,
+                    isp: pm.isp.clone(),
+                    a_label: link.a.clone(),
+                    b_label: link.b.clone(),
+                    na,
+                    nb,
+                    la,
+                    lb,
+                },
+            ));
+            arrival += 1;
+        }
+    }
+    let groups = group_by_pair(pending);
+
+    // Parallel placement, one pair group per task, over a read-only map.
+    let outcomes: Vec<PopGroupOutcome> = intertubes_parallel::par_map(&groups, |(key, links)| {
+        // Snapshot of the pair's conduits: (id or locally-created index,
+        // tenant names, tenant count), evolved as the simulation leases.
+        enum Slot {
+            Existing(MapConduitId),
+            New(usize),
+        }
+        let mut slots: Vec<(Slot, Vec<String>)> = pair_index
+            .get(key)
+            .map(|ids| {
+                ids.iter()
+                    .map(|id| {
+                        let c = &map.conduits[id.index()];
+                        (
+                            Slot::Existing(*id),
+                            c.tenants.iter().map(|t| t.isp.clone()).collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut out = PopGroupOutcome {
+            leases: Vec::new(),
+            new_conduits: Vec::new(),
+        };
+        for link in links {
             // Tentatively place the provider in the pair's busiest conduit
             // (lease into existing infrastructure) when the pair is known.
-            let busiest = pair_index.get(&key).and_then(|ids| {
-                ids.iter()
-                    .max_by_key(|id| map.conduits[id.index()].tenant_count())
-                    .copied()
-            });
-            if let Some(busiest) = busiest {
-                let c = &mut map.conduits[busiest.index()];
-                if !c.has_tenant(&pm.isp) {
-                    c.tenants.push(Tenancy {
-                        isp: pm.isp.clone(),
-                        source: TenancySource::PublishedMap,
-                    });
-                    c.tenants.sort_by(|x, y| x.isp.cmp(&y.isp));
+            let busiest = slots
+                .iter_mut()
+                .max_by_key(|(_, tenants)| tenants.len());
+            if let Some((slot, tenants)) = busiest {
+                if !tenants.iter().any(|t| *t == link.isp) {
+                    tenants.push(link.isp.clone());
+                    match slot {
+                        Slot::Existing(id) => out.leases.push((*id, link.isp.clone())),
+                        Slot::New(i) => out.new_conduits[*i].tenants.push(link.isp.clone()),
+                    }
                 }
                 continue;
             }
             // New conduit: snap onto the closest known ROW (road, then
             // rail), falling back to a direct path.
             let geometry = roads
-                .get(&link.a, &link.b)
-                .or_else(|| rails.get(&link.a, &link.b))
+                .get(&link.a_label, &link.b_label)
+                .or_else(|| rails.get(&link.a_label, &link.b_label))
                 .cloned()
-                .unwrap_or_else(|| Polyline::straight(la, lb));
-            let id = MapConduitId(map.conduits.len() as u32);
-            map.conduits.push(MapConduit {
-                a: na,
-                b: nb,
+                .unwrap_or_else(|| Polyline::straight(link.la, link.lb));
+            let i = out.new_conduits.len();
+            out.new_conduits.push(LocalConduit {
+                created: link.arrival,
+                a: link.na,
+                b: link.nb,
                 geometry,
-                tenants: vec![Tenancy {
-                    isp: pm.isp.clone(),
-                    source: TenancySource::PublishedMap,
-                }],
-                provenance: Provenance::Step3,
-                validated: false,
-                row: None,
+                tenants: vec![link.isp.clone()],
             });
-            pair_index.entry(key).or_default().push(id);
+            slots.push((Slot::New(i), vec![link.isp.clone()]));
         }
+        out
+    });
+
+    // Merge barrier: apply leases, then append new conduits in arrival
+    // order so ids match the serial formulation.
+    let mut new_conduits: Vec<((String, String), LocalConduit)> = Vec::new();
+    for ((key, _), outcome) in groups.iter().zip(outcomes) {
+        for (id, isp) in outcome.leases {
+            let c = &mut map.conduits[id.index()];
+            if !c.has_tenant(&isp) {
+                c.tenants.push(Tenancy {
+                    isp,
+                    source: TenancySource::PublishedMap,
+                });
+                c.tenants.sort_by(|x, y| x.isp.cmp(&y.isp));
+            }
+        }
+        for local in outcome.new_conduits {
+            new_conduits.push((key.clone(), local));
+        }
+    }
+    new_conduits.sort_by_key(|(_, c)| c.created);
+    for (key, local) in new_conduits {
+        let id = MapConduitId(map.conduits.len() as u32);
+        map.conduits.push(MapConduit {
+            a: local.a,
+            b: local.b,
+            geometry: local.geometry,
+            tenants: sorted_tenancies(&local.tenants, TenancySource::PublishedMap),
+            provenance: Provenance::Step3,
+            validated: false,
+            row: None,
+        });
+        pair_index.entry(key).or_default().push(id);
     }
 }
 
@@ -350,13 +556,49 @@ fn sanitize_published(
     report: &mut DegradationReport,
 ) -> Result<Vec<PublishedMap>, MapError> {
     const STAGE: &str = "map.sanitize";
+    // Each published map sanitizes independently: fan out one map per task.
+    // Within a map, links are checked serially in published order, so the
+    // first error a map reports is the same one the serial loop would hit;
+    // the merge keeps the first failing map in input order, which makes the
+    // strict-mode error identical to the serial formulation.
+    let results: Vec<Result<(PublishedMap, [usize; 5]), MapError>> =
+        intertubes_parallel::par_map(published, |pm| sanitize_one(pm, gaz, policy));
     let mut out = Vec::with_capacity(published.len());
+    let mut counts = [0usize; 5];
+    for result in results {
+        let (pm, map_counts) = result?;
+        for (total, c) in counts.iter_mut().zip(map_counts) {
+            *total += c;
+        }
+        out.push(pm);
+    }
+    let [invalid, repaired, unresolvable, duplicates, unknown] = counts;
+    report.note(STAGE, DegradationAction::Dropped, "invalid-geometry", invalid);
+    report.note(STAGE, DegradationAction::Repaired, "missing-geometry", repaired);
+    report.note(
+        STAGE,
+        DegradationAction::Dropped,
+        "missing-geometry-unresolvable",
+        unresolvable,
+    );
+    report.note(STAGE, DegradationAction::Repaired, "duplicate-link", duplicates);
+    report.note(STAGE, DegradationAction::Dropped, "unknown-endpoint", unknown);
+    Ok(out)
+}
+
+/// Sanitizes a single published map, returning the cleaned map plus its
+/// `[invalid, repaired, unresolvable, duplicates, unknown]` counts.
+fn sanitize_one(
+    pm: &PublishedMap,
+    gaz: &Gazetteer<'_>,
+    policy: DegradationPolicy,
+) -> Result<(PublishedMap, [usize; 5]), MapError> {
     let mut invalid = 0usize;
     let mut repaired = 0usize;
     let mut unresolvable = 0usize;
     let mut duplicates = 0usize;
     let mut unknown = 0usize;
-    for pm in published {
+    {
         let mut links: Vec<PublishedLink> = Vec::with_capacity(pm.links.len());
         for link in &pm.links {
             match (pm.kind, &link.geometry) {
@@ -417,23 +659,15 @@ fn sanitize_published(
                 _ => links.push(link.clone()),
             }
         }
-        out.push(PublishedMap {
-            isp: pm.isp.clone(),
-            kind: pm.kind,
-            links,
-        });
+        Ok((
+            PublishedMap {
+                isp: pm.isp.clone(),
+                kind: pm.kind,
+                links,
+            },
+            [invalid, repaired, unresolvable, duplicates, unknown],
+        ))
     }
-    report.note(STAGE, DegradationAction::Dropped, "invalid-geometry", invalid);
-    report.note(STAGE, DegradationAction::Repaired, "missing-geometry", repaired);
-    report.note(
-        STAGE,
-        DegradationAction::Dropped,
-        "missing-geometry-unresolvable",
-        unresolvable,
-    );
-    report.note(STAGE, DegradationAction::Repaired, "duplicate-link", duplicates);
-    report.note(STAGE, DegradationAction::Dropped, "unknown-endpoint", unknown);
-    Ok(out)
 }
 
 /// Runs the full four-step pipeline with explicit degradation control.

@@ -17,7 +17,7 @@
 
 use intertubes_atlas::{City, TransportNetwork};
 use intertubes_geo::fiber_delay_us;
-use intertubes_graph::{dijkstra, yen_k_shortest, EdgeId, MultiGraph, NodeId};
+use intertubes_graph::{par_shortest_paths, par_yen_k_shortest, EdgeId, MultiGraph, NodeId};
 use intertubes_map::FiberMap;
 use serde::{Deserialize, Serialize};
 
@@ -89,6 +89,12 @@ fn row_graph(
 }
 
 /// Runs the latency study over every conduit-joined city pair in the map.
+///
+/// Pair enumeration is serial (sorted and deduplicated, so pair order is
+/// canonical); the two expensive queries — Yen's k paths over the conduit
+/// graph and Dijkstra over the ROW graph — fan out per pair via the
+/// [`intertubes_graph`] batch helpers, which return results in input
+/// order. The serial assembly then matches the serial loop exactly.
 pub fn latency_study(
     map: &FiberMap,
     cities: &[City],
@@ -99,7 +105,11 @@ pub fn latency_study(
     let graph = map.graph();
     let km = |e: EdgeId| map.conduits[graph.edge(e).index()].geometry.length_km();
     let row = row_graph(cities, roads, rails);
-    let city_index = |label: &str| cities.iter().position(|c| c.label() == label);
+    let city_index: std::collections::HashMap<String, usize> = cities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.label().to_string(), i))
+        .collect();
 
     // Conduit-joined pairs, deduplicated.
     let mut pairs: Vec<(u32, u32)> = map
@@ -110,15 +120,32 @@ pub fn latency_study(
     pairs.sort_unstable();
     pairs.dedup();
 
+    // Existing paths: k cheapest loopless conduit routes, batched.
+    let node_pairs: Vec<(NodeId, NodeId)> =
+        pairs.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
+    let yen_results = par_yen_k_shortest(&graph, &node_pairs, cfg.k_paths, km);
+
+    // ROW queries for the pairs whose endpoints are gazetteer cities.
+    let mut row_queries: Vec<(NodeId, NodeId)> = Vec::new();
+    let row_slot: Vec<Option<usize>> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let ia = city_index.get(&map.nodes[a as usize].label)?;
+            let ib = city_index.get(&map.nodes[b as usize].label)?;
+            row_queries.push((NodeId(*ia as u32), NodeId(*ib as u32)));
+            Some(row_queries.len() - 1)
+        })
+        .collect();
+    let row_results = par_shortest_paths(&row, &row_queries, |e| *row.edge(e));
+
     let mut out = Vec::with_capacity(pairs.len());
     let mut agree = 0usize;
-    for (a, b) in pairs {
-        let (na, nb) = (NodeId(a), NodeId(b));
+    for (i, &(a, b)) in pairs.iter().enumerate() {
         let node_a = &map.nodes[a as usize];
         let node_b = &map.nodes[b as usize];
-        // Existing paths: k cheapest loopless conduit routes.
-        let paths =
-            yen_k_shortest(&graph, na, nb, cfg.k_paths, km).expect("km cost is non-negative");
+        let paths = yen_results[i]
+            .as_ref()
+            .expect("km cost is non-negative");
         let Some(best) = paths.first() else { continue };
         let best_km = best.cost;
         let capped: Vec<f64> = paths
@@ -129,16 +156,17 @@ pub fn latency_study(
         let avg_km = capped.iter().sum::<f64>() / capped.len() as f64;
         // Best ROW path (over the gazetteer's road/rail graph).
         let los_km = node_a.location.distance_km(&node_b.location);
-        let row_km = match (city_index(&node_a.label), city_index(&node_b.label)) {
-            (Some(ia), Some(ib)) => {
-                match dijkstra(&row, NodeId(ia as u32), NodeId(ib as u32), |e| *row.edge(e))
+        let row_km = match row_slot[i] {
+            Some(slot) => {
+                match row_results[slot]
+                    .as_ref()
                     .expect("length cost is non-negative")
                 {
                     Some(p) => p.cost,
                     None => los_km,
                 }
             }
-            _ => los_km,
+            None => los_km,
         };
         if (best_km - row_km).abs() <= 0.01 * row_km.max(1e-9) || best_km <= row_km {
             agree += 1;

@@ -187,10 +187,13 @@ pub fn robustness_suggestion_weighted(
 pub fn already_optimal_fraction(map: &FiberMap, rm: &RiskMatrix) -> f64 {
     let graph = map.graph();
     let risk_of = |e: EdgeId| rm.shared[graph.edge(e).index()] as f64;
-    let mut optimal = 0usize;
-    let mut total = 0usize;
-    for (i, c) in map.conduits.iter().enumerate() {
-        total += 1;
+    let no_banned_nodes = vec![false; graph.node_count()];
+    // One independent filtered-Dijkstra query per conduit; the count of
+    // optimal conduits is a sum over per-conduit booleans, so the fan-out
+    // is order-insensitive.
+    let indices: Vec<usize> = (0..map.conduits.len()).collect();
+    let verdicts: Vec<bool> = intertubes_parallel::par_map(&indices, |&i| {
+        let c = &map.conduits[i];
         let own_risk = rm.shared[i] as f64;
         let mut banned_edges = vec![false; graph.edge_count()];
         for e in graph.edge_ids() {
@@ -203,18 +206,16 @@ pub fn already_optimal_fraction(map: &FiberMap, rm: &RiskMatrix) -> f64 {
             NodeId(c.a.0),
             NodeId(c.b.0),
             risk_of,
-            &vec![false; graph.node_count()],
+            &no_banned_nodes,
             &banned_edges,
         )
         .expect("risk cost is non-negative");
-        match alt {
-            // The direct conduit is optimal unless a strictly lower-risk
-            // alternate exists.
-            Some(p) if p.cost < own_risk => {}
-            _ => optimal += 1,
-        }
-    }
-    optimal as f64 / total.max(1) as f64
+        // The direct conduit is optimal unless a strictly lower-risk
+        // alternate exists.
+        !matches!(alt, Some(p) if p.cost < own_risk)
+    });
+    let optimal = verdicts.iter().filter(|&&v| v).count();
+    optimal as f64 / map.conduits.len().max(1) as f64
 }
 
 #[cfg(test)]

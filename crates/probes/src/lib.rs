@@ -16,7 +16,8 @@ mod overlay;
 
 pub use campaign::{run_campaign, Campaign, Hop, ProbeConfig, Traceroute};
 pub use overlay::{
-    classify_direction, overlay_campaign, overlay_campaign_checked, ConduitRow, Direction, Overlay,
+    classify_direction, overlay_campaign, overlay_campaign_checked,
+    overlay_campaign_with_chunk_size, ConduitRow, Direction, Overlay,
 };
 
 /// Errors of the probe layer. Raised only under the strict degradation

@@ -72,6 +72,55 @@ pub struct ConduitRow {
 }
 
 impl Overlay {
+    /// An all-zero overlay over `n` conduits — the identity element of
+    /// [`Overlay::merge`].
+    pub fn empty(n: usize) -> Overlay {
+        Overlay {
+            conduit_freq: vec![0; n],
+            west_east: vec![0; n],
+            east_west: vec![0; n],
+            observed_isps: vec![BTreeSet::new(); n],
+            isp_conduits: BTreeMap::new(),
+            overlaid: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Merges another shard's accumulators into this one.
+    ///
+    /// Every field is a sum, a set union, or a union of BTree-ordered
+    /// maps of set unions — all associative and commutative — so the
+    /// merged overlay is independent of shard boundaries and merge order.
+    /// This is the determinism contract the parallel overlay relies on
+    /// (DESIGN.md §7); `tests/properties.rs` checks it.
+    pub fn merge(&mut self, other: &Overlay) {
+        assert_eq!(
+            self.conduit_freq.len(),
+            other.conduit_freq.len(),
+            "overlay shards must cover the same map"
+        );
+        for (a, b) in self.conduit_freq.iter_mut().zip(&other.conduit_freq) {
+            *a += b;
+        }
+        for (a, b) in self.west_east.iter_mut().zip(&other.west_east) {
+            *a += b;
+        }
+        for (a, b) in self.east_west.iter_mut().zip(&other.east_west) {
+            *a += b;
+        }
+        for (a, b) in self.observed_isps.iter_mut().zip(&other.observed_isps) {
+            a.extend(b.iter().cloned());
+        }
+        for (isp, conduits) in &other.isp_conduits {
+            self.isp_conduits
+                .entry(isp.clone())
+                .or_default()
+                .extend(conduits.iter().copied());
+        }
+        self.overlaid += other.overlaid;
+        self.skipped += other.skipped;
+    }
+
     /// The top-`n` conduits for a direction (the paper's Tables 2/3), or
     /// overall when `direction` is `None`.
     pub fn top_conduits(
@@ -165,7 +214,24 @@ pub fn overlay_campaign_checked(
     campaign: &Campaign,
     policy: DegradationPolicy,
 ) -> Result<(Overlay, DegradationReport), ProbeError> {
-    let n = map.conduits.len();
+    let chunk = intertubes_parallel::chunk_len(campaign.traces.len());
+    overlay_campaign_with_chunk_size(world, map, campaign, policy, chunk)
+}
+
+/// [`overlay_campaign_checked`] with an explicit shard size.
+///
+/// Traces are processed in contiguous chunks of `chunk_size`, one shard
+/// per task, and the per-shard accumulators are merged with
+/// [`Overlay::merge`]. Because the merge is associative and commutative,
+/// the result is identical for every `chunk_size` — the property tests
+/// exercise this directly with adversarial shard boundaries.
+pub fn overlay_campaign_with_chunk_size(
+    world: &World,
+    map: &FiberMap,
+    campaign: &Campaign,
+    policy: DegradationPolicy,
+    chunk_size: usize,
+) -> Result<(Overlay, DegradationReport), ProbeError> {
     let graph = map.graph();
     // Label → map node.
     let node_of: HashMap<&str, MapNodeId> = map
@@ -180,6 +246,48 @@ pub fn overlay_campaign_checked(
         .iter()
         .map(|c| node_of.get(c.label().as_str()).copied())
         .collect();
+
+    // Shard fan-out: contiguous trace chunks, each with its own
+    // accumulators and gap cache (the cache only memoizes deterministic
+    // dijkstra results, so per-shard caches cannot change any output).
+    let shards: Vec<Result<(Overlay, usize), ProbeError>> = intertubes_parallel::par_chunks_map(
+        &campaign.traces,
+        chunk_size.max(1),
+        |offset, traces| overlay_shard(world, map, &graph, &city_to_node, traces, offset, policy),
+    );
+
+    // Merge barrier. Shards cover ascending trace ranges, so the first
+    // error in shard order is the lowest-index error — the same one the
+    // serial loop would abort on under the strict policy.
+    let mut overlay = Overlay::empty(map.conduits.len());
+    let mut bad_endpoints = 0usize;
+    for shard in shards {
+        let (part, bad) = shard?;
+        overlay.merge(&part);
+        bad_endpoints += bad;
+    }
+    let mut report = DegradationReport::new();
+    report.note(
+        "probes.overlay",
+        DegradationAction::Dropped,
+        "endpoint-out-of-range",
+        bad_endpoints,
+    );
+    Ok((overlay, report))
+}
+
+/// Overlays one contiguous shard of traces; `offset` is the shard's first
+/// global trace index (used for strict-mode error reporting).
+fn overlay_shard(
+    world: &World,
+    map: &FiberMap,
+    graph: &intertubes_graph::MultiGraph<MapNodeId, MapConduitId>,
+    city_to_node: &[Option<MapNodeId>],
+    traces: &[crate::campaign::Traceroute],
+    offset: usize,
+    policy: DegradationPolicy,
+) -> Result<(Overlay, usize), ProbeError> {
+    let n = map.conduits.len();
     let km = |e: EdgeId| map.conduits[graph.edge(e).index()].geometry.length_km();
     let mut gap_cache: HashMap<(u32, u32), Option<Vec<MapConduitId>>> = HashMap::new();
 
@@ -192,7 +300,8 @@ pub fn overlay_campaign_checked(
     let mut skipped = 0usize;
     let mut bad_endpoints = 0usize;
 
-    for (ti, t) in campaign.traces.iter().enumerate() {
+    for (local, t) in traces.iter().enumerate() {
+        let ti = offset + local;
         let endpoints = (
             world.cities.get(t.src.index()),
             world.cities.get(t.dst.index()),
@@ -255,7 +364,7 @@ pub fn overlay_campaign_checked(
                 // A dijkstra error (non-finite edge cost) means the map
                 // region is unusable for gap-filling: same as no path.
                 let path = gap_cache.entry(key).or_insert_with(|| {
-                    dijkstra(&graph, NodeId(u.0), NodeId(v.0), km)
+                    dijkstra(graph, NodeId(u.0), NodeId(v.0), km)
                         .unwrap_or(None)
                         .map(|p| p.edges.iter().map(|e| *graph.edge(*e)).collect())
                 });
@@ -288,13 +397,6 @@ pub fn overlay_campaign_checked(
             skipped += 1;
         }
     }
-    let mut report = DegradationReport::new();
-    report.note(
-        "probes.overlay",
-        DegradationAction::Dropped,
-        "endpoint-out-of-range",
-        bad_endpoints,
-    );
     Ok((
         Overlay {
             conduit_freq,
@@ -305,7 +407,7 @@ pub fn overlay_campaign_checked(
             overlaid,
             skipped,
         },
-        report,
+        bad_endpoints,
     ))
 }
 

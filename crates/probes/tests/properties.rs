@@ -35,6 +35,129 @@ proptest! {
     }
 }
 
+mod shard_merge {
+    //! The overlay's shard-merge algebra (DESIGN.md §7): the per-shard
+    //! accumulators merge associatively and commutatively, so the overlay
+    //! is independent of shard boundaries and merge order.
+
+    use std::sync::OnceLock;
+
+    use intertubes_atlas::World;
+    use intertubes_degrade::DegradationPolicy;
+    use intertubes_map::{build_map, FiberMap, PipelineConfig};
+    use intertubes_probes::{
+        overlay_campaign, overlay_campaign_with_chunk_size, run_campaign, Campaign, Overlay,
+        ProbeConfig,
+    };
+    use intertubes_records::{generate_corpus, CorpusConfig};
+    use proptest::prelude::*;
+
+    struct Fixture {
+        world: World,
+        map: FiberMap,
+        campaign: Campaign,
+        baseline: Overlay,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static F: OnceLock<Fixture> = OnceLock::new();
+        F.get_or_init(|| {
+            let world = World::reference();
+            let corpus = generate_corpus(&world, &CorpusConfig::default());
+            let built = build_map(
+                &world.publish_maps(),
+                &corpus,
+                &world.cities,
+                &world.roads,
+                &world.rails,
+                &PipelineConfig::default(),
+            );
+            let campaign = run_campaign(
+                &world,
+                &ProbeConfig {
+                    probes: 1_500,
+                    ..ProbeConfig::default()
+                },
+            );
+            let baseline = overlay_campaign(&world, &built.map, &campaign);
+            Fixture {
+                world,
+                map: built.map,
+                campaign,
+                baseline,
+            }
+        })
+    }
+
+    /// A campaign containing only the given trace slice.
+    fn sub_campaign(f: &Fixture, range: std::ops::Range<usize>) -> Campaign {
+        Campaign {
+            config: f.campaign.config,
+            traces: f.campaign.traces[range].to_vec(),
+            unrouted: 0,
+        }
+    }
+
+    fn canon(ov: &Overlay) -> String {
+        serde_json::to_string(ov).expect("overlay serializes")
+    }
+
+    proptest! {
+        #[test]
+        fn chunk_boundaries_never_change_the_overlay(chunk in 1usize..2_000) {
+            let f = fixture();
+            let (ov, report) = overlay_campaign_with_chunk_size(
+                &f.world,
+                &f.map,
+                &f.campaign,
+                DegradationPolicy::Strict,
+                chunk,
+            )
+            .expect("clean campaign");
+            prop_assert_eq!(canon(&ov), canon(&f.baseline));
+            prop_assert!(report.is_clean());
+        }
+
+        #[test]
+        fn shard_merge_is_associative_and_commutative(
+            a in 0usize..1_500,
+            b in 0usize..1_500,
+        ) {
+            let f = fixture();
+            // Not every probe routes, so the campaign can hold fewer traces
+            // than the requested 1 500 — clamp the split points to it.
+            let n = f.campaign.traces.len();
+            let (i, j) = (a.min(b).min(n), a.max(b).min(n));
+            let parts = [
+                sub_campaign(f, 0..i),
+                sub_campaign(f, i..j),
+                sub_campaign(f, j..f.campaign.traces.len()),
+            ];
+            let overlays: Vec<Overlay> = parts
+                .iter()
+                .map(|c| overlay_campaign(&f.world, &f.map, c))
+                .collect();
+            // Left fold: ((A ⊔ B) ⊔ C).
+            let mut left = overlays[0].clone();
+            left.merge(&overlays[1]);
+            left.merge(&overlays[2]);
+            // Right fold: (A ⊔ (B ⊔ C)).
+            let mut bc = overlays[1].clone();
+            bc.merge(&overlays[2]);
+            let mut right = overlays[0].clone();
+            right.merge(&bc);
+            // Reversed order: ((C ⊔ B) ⊔ A).
+            let mut rev = overlays[2].clone();
+            rev.merge(&overlays[1]);
+            rev.merge(&overlays[0]);
+            let want = canon(&f.baseline);
+            prop_assert_eq!(canon(&left), want.clone());
+            prop_assert_eq!(canon(&right), want.clone());
+            prop_assert_eq!(canon(&rev), want);
+        }
+    }
+}
+
 mod campaign_invariants {
     use intertubes_atlas::World;
     use intertubes_probes::{run_campaign, ProbeConfig};

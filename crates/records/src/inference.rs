@@ -8,7 +8,7 @@
 //! requires "sufficient evidence", often ruling out alternatives); the
 //! confidence model makes that explicit.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -38,12 +38,18 @@ pub struct PairEvidence {
     pub docs: Vec<DocId>,
     /// Per-provider evidence, sorted by descending confidence.
     pub providers: Vec<ProviderEvidence>,
-    /// Right-of-way votes across the records.
-    pub row_votes: HashMap<RowHintKey, usize>,
+    /// Right-of-way votes across the records. A `BTreeMap` keyed by the
+    /// `Ord` on [`RowHintKey`], so iteration — and therefore the
+    /// [`PairEvidence::dominant_row`] tie-break — is deterministic (a
+    /// `HashMap` here made Rail/Road ties flip between runs, which the
+    /// determinism battery flags).
+    pub row_votes: BTreeMap<RowHintKey, usize>,
 }
 
-/// Hashable right-of-way key for vote counting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// Orderable right-of-way key for vote counting. The variant order is the
+/// canonical tie-break order for [`PairEvidence::dominant_row`]: on equal
+/// votes the *last* maximal key wins, i.e. Pipeline over Rail over Road.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RowHintKey {
     /// Highway right-of-way.
     Road,
@@ -103,7 +109,7 @@ pub fn confidence_from_docs(n: usize) -> f64 {
 pub fn gather_pair_evidence(corpus: &Corpus, a: &str, b: &str) -> PairEvidence {
     let docs = corpus.records_for_pair(a, b);
     let mut per_isp: HashMap<String, Vec<DocId>> = HashMap::new();
-    let mut row_votes: HashMap<RowHintKey, usize> = HashMap::new();
+    let mut row_votes: BTreeMap<RowHintKey, usize> = BTreeMap::new();
     for id in &docs {
         let d = corpus.doc(*id);
         for isp in &d.isps {

@@ -24,13 +24,23 @@ pub fn hamming_distance(a: &[u16], b: &[u16]) -> u32 {
 }
 
 /// Computes the full pairwise heat map.
+///
+/// Row extraction and the upper-triangle distance computation fan out one
+/// provider row at a time; the mirrored matrix is assembled serially, so
+/// the result is identical to the serial double loop.
 pub fn hamming_heatmap(rm: &RiskMatrix) -> HammingHeatmap {
-    let rows: Vec<Vec<u16>> = (0..rm.isp_count()).map(|i| rm.row(i)).collect();
+    let indices: Vec<usize> = (0..rm.isp_count()).collect();
+    let rows: Vec<Vec<u16>> = intertubes_parallel::par_map(&indices, |&i| rm.row(i));
     let n = rows.len();
+    let upper: Vec<Vec<u32>> = intertubes_parallel::par_map(&indices, |&i| {
+        (i + 1..n)
+            .map(|j| hamming_distance(&rows[i], &rows[j]))
+            .collect()
+    });
     let mut distance = vec![vec![0u32; n]; n];
-    for i in 0..n {
-        for j in i + 1..n {
-            let d = hamming_distance(&rows[i], &rows[j]);
+    for (i, strip) in upper.iter().enumerate() {
+        for (off, &d) in strip.iter().enumerate() {
+            let j = i + 1 + off;
             distance[i][j] = d;
             distance[j][i] = d;
         }

@@ -76,14 +76,18 @@ impl RiskMatrix {
 
     fn build_roster(map: &FiberMap, isps: &[String]) -> RiskMatrix {
         let n = map.conduits.len();
-        let mut uses = vec![vec![false; n]; isps.len()];
+        // Each provider's tenancy row is independent of every other row:
+        // fan out one row per ISP (the §4.1 matrix is built row-wise), then
+        // derive the per-conduit share counts as column sums. Row order is
+        // the roster order either way, so the result is byte-identical to
+        // the serial nested loop.
+        let uses: Vec<Vec<bool>> = intertubes_parallel::par_map(isps, |isp| {
+            map.conduits.iter().map(|c| c.has_tenant(isp)).collect()
+        });
         let mut shared = vec![0u16; n];
-        for (c, conduit) in map.conduits.iter().enumerate() {
-            for (i, isp) in isps.iter().enumerate() {
-                if conduit.has_tenant(isp) {
-                    uses[i][c] = true;
-                    shared[c] += 1;
-                }
+        for row in &uses {
+            for (c, &used) in row.iter().enumerate() {
+                shared[c] += used as u16;
             }
         }
         RiskMatrix {

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Speedup gate for the rayon-parallel hot paths (DESIGN.md §7).
+#
+# Runs the `bench_parallel` harness (crates/bench/src/bin/bench_parallel.rs),
+# which times each parallelised stage pinned to one thread and again at the
+# environment's thread count, and records the result to BENCH_parallel.json.
+#
+# The numbers are always recorded; the speedup floor is only enforced on
+# machines with at least MIN_CORES cores. On smaller boxes (CI runners are
+# often 1–2 vCPUs) the parallel arms legitimately tie the serial ones — the
+# determinism battery (tests/determinism.rs) still proves they compute the
+# same bytes.
+set -eu
+
+MIN_CORES=4      # enforce the floor only at this parallelism or above
+MIN_SPEEDUP=2    # required speedup ...
+MIN_STAGES=2     # ... on at least this many of the four stages
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p intertubes-bench --bin bench_parallel
+./target/release/bench_parallel > BENCH_parallel.json
+echo "bench_gate: wrote BENCH_parallel.json"
+
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)
+if [ "$cores" -lt "$MIN_CORES" ]; then
+    echo "bench_gate: OK (recorded only — $cores core(s) < $MIN_CORES, floor not enforced)"
+    exit 0
+fi
+
+fast=$(grep '"speedup"' BENCH_parallel.json |
+    awk -v min="$MIN_SPEEDUP" '
+        { gsub(/[^0-9.]/, "", $2); if ($2 + 0 >= min) n++ }
+        END { print n + 0 }')
+
+echo "bench_gate: $fast stage(s) at >= ${MIN_SPEEDUP}x (need $MIN_STAGES of 4)"
+if [ "$fast" -lt "$MIN_STAGES" ]; then
+    echo "bench_gate: FAIL — parallel hot paths regressed below the floor." >&2
+    echo "See BENCH_parallel.json for per-stage timings." >&2
+    exit 1
+fi
+echo "bench_gate: OK"

@@ -31,6 +31,9 @@ fn usage() -> ! {
         "usage: intertubes [--seed N] [--strict|--lenient] [--faults <plan.json>] <command> [args]\n\
          flags:\n\
            --seed N               world seed (default 1504)\n\
+           --threads N            worker threads for the parallel stages\n\
+                                  (default: INTERTUBES_THREADS, then rayon;\n\
+                                  output is identical at any thread count)\n\
            --strict               abort on the first malformed input (exit 3)\n\
            --lenient              absorb malformed input and report it (default)\n\
            --faults <plan.json>   inject the fault plan into every pipeline input\n\
@@ -60,6 +63,19 @@ fn main() {
     let mut faults_path: Option<String> = None;
     loop {
         match args.first().map(String::as_str) {
+            Some("--threads") => {
+                if args.len() < 2 {
+                    usage();
+                }
+                let n: usize = args[1].parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--threads takes a positive integer");
+                    std::process::exit(2);
+                });
+                // Highest-priority thread-count source after test overrides
+                // (DESIGN.md §7); set before any parallel stage runs.
+                std::env::set_var("INTERTUBES_THREADS", n.to_string());
+                args.drain(..2);
+            }
             Some("--seed") => {
                 if args.len() < 2 {
                     usage();
@@ -93,8 +109,10 @@ fn main() {
     };
 
     eprintln!(
-        "building study (seed {}, {} policy) …",
-        cfg.world.seed, cfg.policy
+        "building study (seed {}, {} policy, {} thread(s)) …",
+        cfg.world.seed,
+        cfg.policy,
+        intertubes::parallel::thread_count()
     );
     let study = match &faults_path {
         Some(path) => {

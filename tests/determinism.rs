@@ -1,0 +1,129 @@
+//! The determinism contract (DESIGN.md §7): every parallel hot path must
+//! produce output byte-identical to the serial formulation, at any thread
+//! count, for clean and faulted inputs alike.
+//!
+//! One thread is the serial baseline — `intertubes_parallel` short-circuits
+//! every fan-out to an inline loop at `threads == 1` — so comparing
+//! serialized stage outputs across 1, 2, and 8 threads exercises both the
+//! code-path equivalence and the shard-merge algebra.
+
+use std::collections::BTreeMap;
+
+use intertubes::degrade::DegradationPolicy;
+use intertubes::faults::FaultPlan;
+use intertubes::mitigation::already_optimal_fraction;
+use intertubes::parallel::with_threads;
+use intertubes::risk::hamming_heatmap;
+use intertubes::{Study, StudyConfig};
+
+/// Probe volume for the overlay stage — small enough to keep the battery
+/// fast, large enough to touch every accumulator field.
+const PROBES: usize = 5_000;
+
+/// Serialized outputs of every parallel stage, computed at `threads`.
+fn stage_snapshot(threads: usize) -> BTreeMap<&'static str, String> {
+    with_threads(threads, || {
+        let mut out = BTreeMap::new();
+        let (study, report) =
+            Study::new_checked(StudyConfig::default()).expect("default config builds");
+        out.insert(
+            "pipeline.map",
+            serde_json::to_string(&study.built.map).expect("map serializes"),
+        );
+        out.insert(
+            "pipeline.report",
+            serde_json::to_string(&report).expect("report serializes"),
+        );
+        let campaign = study.campaign(Some(PROBES));
+        let (overlay, overlay_report) = study
+            .overlay_checked(&campaign)
+            .expect("clean campaign overlays");
+        out.insert(
+            "overlay",
+            serde_json::to_string(&overlay).expect("overlay serializes"),
+        );
+        out.insert(
+            "overlay.report",
+            serde_json::to_string(&overlay_report).expect("report serializes"),
+        );
+        let rm = study.risk_matrix();
+        out.insert(
+            "risk.matrix",
+            serde_json::to_string(&rm).expect("matrix serializes"),
+        );
+        out.insert(
+            "risk.hamming",
+            serde_json::to_string(&hamming_heatmap(&rm)).expect("heatmap serializes"),
+        );
+        out.insert(
+            "risk.already_optimal",
+            format!("{:.17}", already_optimal_fraction(&study.built.map, &rm)),
+        );
+        out.insert(
+            "mitigation.latency",
+            serde_json::to_string(&study.latency()).expect("latency serializes"),
+        );
+        out
+    })
+}
+
+#[test]
+fn all_stages_are_thread_count_invariant() {
+    let serial = stage_snapshot(1);
+    for threads in [2, 8] {
+        let parallel = stage_snapshot(threads);
+        assert_eq!(
+            serial.keys().collect::<Vec<_>>(),
+            parallel.keys().collect::<Vec<_>>()
+        );
+        for (stage, expected) in &serial {
+            let got = &parallel[stage];
+            assert_eq!(
+                expected, got,
+                "stage {stage} diverged between 1 and {threads} threads"
+            );
+        }
+    }
+}
+
+/// One faulted build's observable output, serialized: either the full
+/// (map, report, ledger) triple or the error's display string.
+fn faulted_snapshot(plan: &FaultPlan, policy: DegradationPolicy, threads: usize) -> String {
+    with_threads(threads, || {
+        let mut cfg = StudyConfig::default();
+        cfg.policy = policy;
+        match Study::new_faulted(cfg, plan) {
+            Ok((study, report, ledger)) => format!(
+                "map:{}\nreport:{}\nledger:{}",
+                serde_json::to_string(&study.built.map).expect("map serializes"),
+                serde_json::to_string(&report).expect("report serializes"),
+                serde_json::to_string(&ledger).expect("ledger serializes"),
+            ),
+            Err(e) => format!("error:{e}"),
+        }
+    })
+}
+
+#[test]
+fn faulted_builds_are_thread_count_invariant() {
+    for (name, plan) in FaultPlan::built_in_scenarios() {
+        for policy in [DegradationPolicy::Lenient, DegradationPolicy::Strict] {
+            let serial = faulted_snapshot(&plan, policy, 1);
+            let parallel = faulted_snapshot(&plan, policy, 4);
+            assert_eq!(
+                serial, parallel,
+                "scenario {name:?} under {policy} diverged between 1 and 4 threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_override_env_var_is_respected() {
+    // with_threads pins both the override and RAYON_NUM_THREADS; the
+    // resolved count must follow it exactly.
+    for n in [1, 3, 8] {
+        let seen = with_threads(n, intertubes::parallel::thread_count);
+        assert_eq!(seen, n);
+    }
+}

@@ -1,10 +1,22 @@
 //! Fidelity of the constructed map against the hidden ground truth — the
 //! evaluation the paper could not run (it had no ground truth; we do).
+//!
+//! Besides the statistical precision/recall checks, this file pins the
+//! reference study's headline numbers to a golden snapshot
+//! (`tests/goldens/reference.json`). Any drift — an accidental behavior
+//! change in the pipeline, overlay, or risk analyses — fails the build
+//! with a diff. After an *intentional* change, regenerate with:
+//!
+//! ```text
+//! REGENERATE_GOLDENS=1 cargo test --test reconstruction_fidelity
+//! ```
 
 use std::collections::HashSet;
 use std::sync::OnceLock;
 
+use intertubes::risk::{conduits_shared_by_at_least, isp_sharing_ranking};
 use intertubes::Study;
+use serde_json::json;
 
 fn study() -> &'static Study {
     static S: OnceLock<Study> = OnceLock::new();
@@ -161,4 +173,75 @@ fn records_inferred_tenants_are_mostly_correct() {
         let precision = correct as f64 / inferred as f64;
         assert!(precision > 0.8, "records inference precision {precision}");
     }
+}
+
+/// Probe volume for the golden overlay tables; fixed forever — changing it
+/// changes the snapshot.
+const GOLDEN_PROBES: usize = 20_000;
+
+/// Computes the golden snapshot of the reference study: topology counts,
+/// the §4.2 sharing distribution, the per-ISP risk ranking, and the
+/// overlay's Table 3/4 reconstructions.
+fn golden_snapshot(s: &Study) -> serde_json::Value {
+    let map = &s.built.map;
+    let rm = s.risk_matrix();
+    let ranking: Vec<serde_json::Value> = isp_sharing_ranking(&rm)
+        .into_iter()
+        .map(|r| {
+            json!({
+                "isp": r.isp,
+                "mean": format!("{:.6}", r.mean),
+                "conduits": r.conduits,
+            })
+        })
+        .collect();
+    let campaign = s.campaign(Some(GOLDEN_PROBES));
+    let overlay = s.overlay(&campaign);
+    let table = |dir| -> Vec<serde_json::Value> {
+        overlay
+            .top_conduits(map, Some(dir), 10)
+            .into_iter()
+            .map(|row| json!({ "a": row.a, "b": row.b, "probes": row.probes }))
+            .collect()
+    };
+    let table4: Vec<serde_json::Value> = overlay
+        .isp_usage_ranking()
+        .into_iter()
+        .take(15)
+        .map(|(isp, conduits)| json!({ "isp": isp, "conduits": conduits }))
+        .collect();
+    json!({
+        "topology": {
+            "nodes": map.nodes.len(),
+            "conduits": map.conduits.len(),
+            "links": map.link_count(),
+            "validated": map.conduits.iter().filter(|c| c.validated).count(),
+        },
+        "sharing_bars": conduits_shared_by_at_least(&rm),
+        "risk_ranking": ranking,
+        "table3_west_east": table(intertubes::probes::Direction::WestToEast),
+        "table3_east_west": table(intertubes::probes::Direction::EastToWest),
+        "table4_isp_usage": table4,
+    })
+}
+
+#[test]
+fn reference_study_matches_golden_snapshot() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/reference.json");
+    let computed = serde_json::to_string_pretty(&golden_snapshot(study()))
+        .expect("snapshot serializes");
+    if std::env::var_os("REGENERATE_GOLDENS").is_some() {
+        std::fs::write(path, format!("{computed}\n")).expect("golden file writable");
+        println!("regenerated {path}");
+        return;
+    }
+    let stored = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path} ({e}); run REGENERATE_GOLDENS=1 cargo test")
+    });
+    assert_eq!(
+        stored.trim_end(),
+        computed,
+        "reference study drifted from {path}; if the change is intentional, \
+         regenerate with REGENERATE_GOLDENS=1 cargo test --test reconstruction_fidelity"
+    );
 }

@@ -1,0 +1,388 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a tiny replacement built on `std::thread::scope`. The API
+//! mirrors `rayon` closely enough that swapping the real crate back in is
+//! a one-line change in the workspace manifest.
+//!
+//! Two properties matter more than raw scheduling cleverness here:
+//!
+//! 1. **Order preservation.** Every driver splits its input into
+//!    contiguous chunks, processes each chunk in input order on its own
+//!    thread, and concatenates the chunk results in chunk order. The
+//!    output of `collect()` is therefore byte-identical to a serial run —
+//!    the workspace's determinism contract (DESIGN.md §7) leans on this.
+//! 2. **Degenerate serial execution.** With one thread (or one item) no
+//!    thread is spawned at all; the closure chain runs inline. "Parallel
+//!    at 1 thread" and "serial" are the same code path by construction.
+//!
+//! Covered surface: `prelude::*` with `par_iter` over slices,
+//! `into_par_iter` over `Vec<T>` and `Range<usize>`, `par_chunks`, the
+//! `map` adapter, `collect`/`for_each`/`reduce` terminals,
+//! `ThreadPoolBuilder::{new, num_threads, build_global}` and
+//! `current_num_threads`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Globally configured thread count (0 = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Error returned when the global pool is configured twice.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the (stubbed) global thread pool. Only the thread count is
+/// retained; there is no persistent pool — threads are scoped per call.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Errs if already installed,
+    /// mirroring rayon's one-shot global pool.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            available_threads()
+        } else {
+            self.num_threads
+        };
+        match GLOBAL_THREADS.compare_exchange(0, n, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError),
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The number of threads parallel drivers will use: the globally built
+/// pool size if configured, else `RAYON_NUM_THREADS`, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    let configured = GLOBAL_THREADS.load(Ordering::SeqCst);
+    if configured > 0 {
+        return configured;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    available_threads()
+}
+
+/// The ordered, chunked driver behind every terminal operation.
+///
+/// Splits `items` into at most `threads` contiguous chunks and maps `f`
+/// over every item, preserving input order in the output.
+fn drive_ordered<T: Send, R: Send>(
+    items: Vec<T>,
+    threads: usize,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    // Partition into owned chunks, front to back.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let f = &f;
+    let results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A parallel iterator: a materialized item source plus a composed
+/// per-item closure chain, executed by [`drive_ordered`] at a terminal.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced at terminals.
+    type Item: Send;
+
+    /// Materializes all items in parallel, preserving input order.
+    fn to_vec(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` (lazy; composed into the chain).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into any `FromIterator` collection, in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.to_vec().into_iter().collect()
+    }
+
+    /// Runs `f` on every item (unordered in real rayon; ordered here).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).to_vec();
+    }
+
+    /// Folds all items with `op`, starting from `identity()`.
+    ///
+    /// The stub folds the (parallel-computed) items left to right, so the
+    /// result is deterministic for any `op` — stricter than real rayon,
+    /// which requires associativity for a stable answer.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.to_vec().into_iter().fold(identity(), op)
+    }
+
+    /// Sums all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.to_vec().into_iter().sum()
+    }
+}
+
+/// Lazy `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn to_vec(self) -> Vec<R> {
+        let Map { base, f } = self;
+        drive_ordered(base.to_vec(), current_num_threads(), f)
+    }
+}
+
+impl<B, F> Map<B, F> {
+    /// No-op in the stub (rayon uses it to bound splitting granularity).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn to_vec(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Parallel iterator over owned `Vec<T>`.
+pub struct VecIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn to_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel iterator over contiguous sub-slices of fixed size.
+pub struct ChunksIter<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn to_vec(self) -> Vec<&'a [T]> {
+        self.slice.chunks(self.size.max(1)).collect()
+    }
+}
+
+/// Conversion into a parallel iterator (owned).
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = VecIter<usize>;
+    type Item = usize;
+
+    fn into_par_iter(self) -> VecIter<usize> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send + 'a;
+    /// Borrows `self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_chunks` over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `size` items (the last
+    /// chunk may be shorter).
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        ChunksIter { slice: self, size }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).map(|i| i as u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        let serial: Vec<u64> = v.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn into_par_iter_owned_and_range() {
+        let out: Vec<usize> = vec![3usize, 1, 2].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 3]);
+        let sq: Vec<usize> = (0..10).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let v: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), v.iter().sum::<u32>());
+        assert_eq!(sums[0], (0..10).sum::<u32>());
+    }
+
+    #[test]
+    fn reduce_and_sum_agree_with_serial() {
+        let v: Vec<u64> = (1..=100).collect();
+        let r = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 5050);
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let v: Vec<i64> = (0..50).collect();
+        let out: Vec<i64> = v.par_iter().map(|&x| x + 1).map(|x| x * 3).collect();
+        assert_eq!(out, (0..50).map(|x| (x + 1) * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
