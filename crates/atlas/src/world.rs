@@ -82,6 +82,7 @@ pub struct World {
 impl World {
     /// Generates the world deterministically from `config`.
     pub fn generate(config: WorldConfig) -> World {
+        let mut span = intertubes_obs::stage("world.generate");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let cities = load_cities();
         let roads = build_road_network(&cities, &mut rng);
@@ -107,6 +108,9 @@ impl World {
             &crate::tenancy::SharingTargets::default(),
             &mut rng,
         );
+        span.items("cities", cities.len());
+        span.items("conduits", system.conduits.len());
+        span.items("providers", roster.len());
         World {
             config,
             cities,

@@ -8,8 +8,15 @@
 //! on stdout. On boxes with fewer than 4 cores the numbers are recorded but
 //! the gate script does not enforce a speedup floor — with a single core
 //! the parallel arms legitimately tie (or slightly trail) the serial ones.
+//!
+//! Each stage additionally runs once under an `intertubes-obs` session, and
+//! the per-sub-stage wall times from the observability spans (DESIGN.md §8)
+//! are embedded in the row as `"sub_stages"` — the breakdown EXPERIMENTS.md
+//! quotes.
 
 use std::time::Instant;
+
+use intertubes::obs;
 
 use intertubes::map::{build_map, PipelineConfig};
 use intertubes::mitigation::latency_study;
@@ -57,6 +64,20 @@ fn main() {
         } else {
             1.0
         };
+        // One instrumented pass: the obs spans inside the stage give the
+        // per-sub-stage timing breakdown (e.g. map.step1..step4 within
+        // "pipeline").
+        let session = obs::Session::begin(obs::ObsConfig::default());
+        with_threads(threads, &mut *run);
+        let record = session.finish();
+        let mut sub_stages = serde_json::Map::new();
+        for sub in record.stage_names() {
+            let ms = record.stage_wall_ms(sub).unwrap_or(0.0);
+            sub_stages.insert(
+                sub.to_string(),
+                serde_json::Value::Number(serde_json::Number::Float(round3(ms))),
+            );
+        }
         eprintln!(
             "{name:<14} serial {serial_ms:>8.1} ms  parallel({threads}) {parallel_ms:>8.1} ms  \
              speedup {speedup:.2}x"
@@ -66,6 +87,7 @@ fn main() {
             "serial_ms": round3(serial_ms),
             "parallel_ms": round3(parallel_ms),
             "speedup": round3(speedup),
+            "sub_stages": serde_json::Value::Object(sub_stages),
         }));
     };
 

@@ -47,6 +47,7 @@ pub use intertubes_geo as geo;
 pub use intertubes_graph as graph;
 pub use intertubes_map as map;
 pub use intertubes_mitigation as mitigation;
+pub use intertubes_obs as obs;
 pub use intertubes_parallel as parallel;
 pub use intertubes_probes as probes;
 pub use intertubes_records as records;

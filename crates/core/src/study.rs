@@ -107,6 +107,9 @@ impl Study {
         inject_published_maps(&mut published, plan, &mut ledger);
         let corpus = inject_corpus(&corpus, plan, &mut ledger);
         inject_transport(&mut world.roads, plan, &mut ledger);
+        // Emitted once, serially, after all injectors ran: the ledger is
+        // family-sorted, so the event sequence is canonical.
+        ledger.emit_events();
         let (study, report) = Study::from_parts(config, world, corpus, published)?;
         Ok((study, report, ledger))
     }
@@ -134,6 +137,10 @@ impl Study {
             policy,
         )?;
         report.merge(map_report);
+        // The merged report is canonical (sorted, aggregated), so emitting
+        // it here — from the driving thread, after the last merge — yields
+        // the same event sequence at every thread count.
+        report.emit_events();
         Ok((
             Study {
                 config,

@@ -177,6 +177,29 @@ impl DegradationReport {
             .sum()
     }
 
+    /// Emits one structured observability event per aggregated degradation
+    /// event (no-op outside an `intertubes-obs` session).
+    ///
+    /// Call from serial code only, after the final shard merge: the report
+    /// itself is order-canonical, so emitting it once from the driving
+    /// thread keeps the event log identical at every thread count.
+    pub fn emit_events(&self) {
+        use intertubes_obs::{FieldValue, Level};
+        for ev in &self.events {
+            intertubes_obs::event(
+                Level::Warn,
+                "degrade",
+                &format!("{} {} {} ({})", ev.stage, ev.action, ev.count, ev.reason),
+                &[
+                    ("stage", FieldValue::Str(ev.stage.clone())),
+                    ("action", FieldValue::Str(ev.action.to_string())),
+                    ("reason", FieldValue::Str(ev.reason.clone())),
+                    ("count", FieldValue::U64(ev.count as u64)),
+                ],
+            );
+        }
+    }
+
     /// Human-readable multi-line rendering (used by the CLI on stderr).
     pub fn render(&self) -> String {
         if self.is_clean() {

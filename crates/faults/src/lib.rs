@@ -304,6 +304,30 @@ impl InjectionLedger {
         }
     }
 
+    /// Emits one structured observability event per injected fault family,
+    /// plus a `faults.injected` counter with the grand total (no-op outside
+    /// an `intertubes-obs` session).
+    ///
+    /// Call once from serial code after all injectors have run — the ledger
+    /// is kept sorted by family, so the emitted sequence is canonical.
+    pub fn emit_events(&self) {
+        use intertubes_obs::{FieldValue, Level};
+        let mut total = 0u64;
+        for &(family, n) in &self.counts {
+            total += n as u64;
+            intertubes_obs::event(
+                Level::Warn,
+                "faults",
+                &format!("injected {} x{}", family.label(), n),
+                &[
+                    ("family", FieldValue::Str(family.label().to_string())),
+                    ("count", FieldValue::U64(n as u64)),
+                ],
+            );
+        }
+        intertubes_obs::counter("faults.injected", total);
+    }
+
     /// One-line-per-family rendering for test diagnostics.
     pub fn render(&self) -> String {
         if self.counts.is_empty() {

@@ -155,6 +155,9 @@ impl CorridorIndex {
         pl: &Polyline,
         radius_km: f64,
     ) -> Option<(u32, f64)> {
+        // One bump per query: safe from worker threads (shards merge by
+        // addition), and the total is the same at every thread count.
+        intertubes_obs::counter("geo.corridor_queries", 1);
         // Score candidate corridors by mean distance over a few route samples.
         let samples = [0.25, 0.5, 0.75].map(|t| pl.point_at_fraction(t));
         let grid = self.layer(layer);
@@ -177,6 +180,7 @@ impl CorridorIndex {
         params: &OverlapParams,
     ) -> Result<ColocationBreakdown, GeoError> {
         params.validate()?;
+        intertubes_obs::counter("geo.overlap_queries", 1);
         let samples = route.sample_every_km(params.sample_step_km)?;
         let mut road = 0usize;
         let mut rail = 0usize;

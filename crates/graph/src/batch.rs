@@ -17,6 +17,7 @@ pub fn par_shortest_paths<N: Sync, E: Sync>(
     pairs: &[(NodeId, NodeId)],
     cost: impl Fn(EdgeId) -> f64 + Sync,
 ) -> Vec<Result<Option<Path>, GraphError>> {
+    intertubes_obs::counter("graph.shortest_path_queries", pairs.len() as u64);
     intertubes_parallel::par_map(pairs, |&(s, t)| dijkstra(g, s, t, &cost))
 }
 
@@ -29,6 +30,7 @@ pub fn par_yen_k_shortest<N: Sync, E: Sync>(
     k: usize,
     cost: impl Fn(EdgeId) -> f64 + Sync,
 ) -> Vec<Result<Vec<Path>, GraphError>> {
+    intertubes_obs::counter("graph.yen_queries", pairs.len() as u64);
     intertubes_parallel::par_map(pairs, |&(s, t)| yen_k_shortest(g, s, t, k, &cost))
 }
 

@@ -692,42 +692,86 @@ pub fn build_map_checked(
     let rail_lookup = CorridorLookup::new(rails, cities);
     let known_isps: Vec<String> = published.iter().map(|m| m.isp.clone()).collect();
 
+    // Copies a step report's headline counts onto the step's stage span so
+    // the run manifest carries the same totals as `BuiltMap::reports`.
+    fn step_items(span: &mut intertubes_obs::StageGuard, r: &StepReport) {
+        span.items("nodes", r.nodes);
+        span.items("links", r.links);
+        span.items("conduits", r.conduits);
+        span.items("validated_conduits", r.validated_conduits);
+    }
+
     let mut degradation = DegradationReport::new();
-    let published = sanitize_published(published, &gaz, policy, &mut degradation)?;
+    let published = {
+        let mut span = intertubes_obs::stage("map.sanitize");
+        span.items("maps_in", published.len());
+        match sanitize_published(published, &gaz, policy, &mut degradation) {
+            Ok(clean) => {
+                span.items("maps_out", clean.len());
+                if !degradation.is_clean() {
+                    span.degraded();
+                }
+                clean
+            }
+            Err(e) => {
+                span.failed();
+                return Err(e);
+            }
+        }
+    };
 
     let mut map = FiberMap::default();
     let mut pair_index: HashMap<(String, String), Vec<MapConduitId>> = HashMap::new();
     let mut reports = Vec::with_capacity(4);
 
-    step1(&mut map, &mut pair_index, &published, cfg);
-    reports.push(report(1, &map));
+    {
+        let mut span = intertubes_obs::stage("map.step1");
+        step1(&mut map, &mut pair_index, &published, cfg);
+        let r = report(1, &map);
+        step_items(&mut span, &r);
+        reports.push(r);
+    }
 
-    records_pass(&mut map, &pair_index, corpus, &known_isps, cfg, |c| {
-        c.provenance == Provenance::Step1
-    });
-    reports.push(report(2, &map));
+    {
+        let mut span = intertubes_obs::stage("map.step2");
+        records_pass(&mut map, &pair_index, corpus, &known_isps, cfg, |c| {
+            c.provenance == Provenance::Step1
+        });
+        let r = report(2, &map);
+        step_items(&mut span, &r);
+        reports.push(r);
+    }
 
-    step3(
-        &mut map,
-        &mut pair_index,
-        &published,
-        &gaz,
-        &road_lookup,
-        &rail_lookup,
-    );
-    reports.push(report(3, &map));
+    {
+        let mut span = intertubes_obs::stage("map.step3");
+        step3(
+            &mut map,
+            &mut pair_index,
+            &published,
+            &gaz,
+            &road_lookup,
+            &rail_lookup,
+        );
+        let r = report(3, &map);
+        step_items(&mut span, &r);
+        reports.push(r);
+    }
 
-    records_pass(&mut map, &pair_index, corpus, &known_isps, cfg, |_| true);
+    {
+        let mut span = intertubes_obs::stage("map.step4");
+        records_pass(&mut map, &pair_index, corpus, &known_isps, cfg, |_| true);
 
-    // Apply the §2 long-haul definition: a conduit stays if it spans
-    // ≥ 30 miles, or joins ≥ 100 k-population centers, or is shared by ≥ 2
-    // providers (the definition is disjunctive).
-    let dropped = apply_long_haul_policy(&mut map, cities, &cfg.policy);
-    let mut final_report = report(4, &map);
-    // Dropped metro-scale conduits are reported implicitly via the totals.
-    let _ = dropped;
-    final_report.step = 4;
-    reports.push(final_report);
+        // Apply the §2 long-haul definition: a conduit stays if it spans
+        // ≥ 30 miles, or joins ≥ 100 k-population centers, or is shared by ≥ 2
+        // providers (the definition is disjunctive).
+        let dropped = apply_long_haul_policy(&mut map, cities, &cfg.policy);
+        let mut final_report = report(4, &map);
+        // Dropped metro-scale conduits are reported implicitly via the totals.
+        let _ = dropped;
+        final_report.step = 4;
+        step_items(&mut span, &final_report);
+        reports.push(final_report);
+    }
 
     Ok((BuiltMap { map, reports }, degradation))
 }

@@ -111,6 +111,8 @@ pub fn augment(
     roads: &TransportNetwork,
     cfg: &AugmentationConfig,
 ) -> AugmentationReport {
+    let mut span = intertubes_obs::stage("mitigation.augmentation");
+    span.items("candidate_pool", cfg.candidate_pool.min(rm.conduit_count()));
     // Mutable copy of per-conduit sharing, updated as additions land.
     let mut shared: Vec<f64> = rm.shared.iter().map(|&s| s as f64).collect();
     let before = avg_risk(rm, &shared);
@@ -185,6 +187,7 @@ pub fn augment(
             improvement[i].push(ratio);
         }
     }
+    span.items("added", added.len());
     AugmentationReport {
         added,
         isps: rm.isps.clone(),

@@ -102,6 +102,7 @@ pub fn latency_study(
     rails: &TransportNetwork,
     cfg: &LatencyConfig,
 ) -> LatencyReport {
+    let mut span = intertubes_obs::stage("mitigation.latency");
     let graph = map.graph();
     let km = |e: EdgeId| map.conduits[graph.edge(e).index()].geometry.length_km();
     let row = row_graph(cities, roads, rails);
@@ -181,6 +182,8 @@ pub fn latency_study(
         });
     }
     let frac = agree as f64 / out.len().max(1) as f64;
+    span.items("node_pairs", pairs.len());
+    span.items("measured_pairs", out.len());
     LatencyReport {
         pairs: out,
         best_equals_row_fraction: frac,

@@ -78,6 +78,9 @@ pub fn robustness_suggestion_weighted(
     heavy: &[MapConduitId],
     peer_weight: impl Fn(&str) -> f64,
 ) -> RobustnessReport {
+    let mut span = intertubes_obs::stage("mitigation.robustness");
+    span.items("heavy_conduits", heavy.len());
+    span.items("isps", rm.isp_count());
     let graph = map.graph();
     // Shared-risk cost of traversing a conduit (eq. 1's SR term).
     let risk_of = |e: EdgeId| rm.shared[graph.edge(e).index()] as f64;

@@ -78,6 +78,8 @@ fn mean_avg_risk(rm: &RiskMatrix) -> f64 {
 
 /// Runs the before/after comparison for an augmentation plan.
 pub fn what_if(map: &FiberMap, isps: &[String], plan: &AugmentationReport) -> WhatIfReport {
+    let mut span = intertubes_obs::stage("mitigation.whatif");
+    span.items("conduits_added", plan.added.len());
     let before = RiskMatrix::build(map, isps);
     let upgraded = apply_augmentation(map, plan);
     let after = RiskMatrix::build(&upgraded, isps);

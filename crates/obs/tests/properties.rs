@@ -1,0 +1,96 @@
+//! The metrics-shard merge algebra (DESIGN.md §7/§8): merging per-thread
+//! [`MetricsSnapshot`] shards must be associative and commutative, so the
+//! merged registry — and hence the run manifest — is independent of how
+//! observations were partitioned across worker threads.
+
+use intertubes_obs::MetricsSnapshot;
+use proptest::prelude::*;
+
+/// One randomly-generated shard: a handful of counter bumps, gauge sets,
+/// and histogram observations over a small shared name space (small so
+/// shards collide on names, which is where merge bugs live).
+fn shard_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    prop::collection::vec((0u8..3, 0usize..4, 0u64..10_000), 0..12).prop_map(|ops| {
+        let names = ["alpha", "beta", "gamma", "delta"];
+        let mut shard = MetricsSnapshot::new();
+        // Gauge stamps must be globally ordered in real sessions; give each
+        // op a distinct stamp derived from its position so generated shards
+        // respect the same invariant.
+        for (i, (kind, name_idx, value)) in ops.into_iter().enumerate() {
+            let name = names[name_idx];
+            match kind {
+                0 => shard.counter_add(name, value),
+                1 => shard.gauge_set(name, (i as u64) + 1, value as i64 - 5_000),
+                _ => shard.histogram_observe(name, value),
+            }
+        }
+        shard
+    })
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in shard_strategy(), b in shard_strategy()) {
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        // Gauges with equal stamps across shards tie-break on value, so
+        // even adversarial stamp collisions stay order-independent.
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in shard_strategy(),
+        b in shard_strategy(),
+        c in shard_strategy()
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(a in shard_strategy()) {
+        let empty = MetricsSnapshot::new();
+        prop_assert_eq!(merged(&a, &empty), a.clone());
+        prop_assert_eq!(merged(&empty, &a), a);
+    }
+
+    #[test]
+    fn merge_matches_unsharded_recording(
+        values in prop::collection::vec(0u64..1_000, 1..40),
+        split in 0usize..40
+    ) {
+        // Recording a stream into one shard equals recording a prefix and
+        // suffix into two shards and merging — the sharding is invisible.
+        let split = split.min(values.len());
+        let mut whole = MetricsSnapshot::new();
+        let mut front = MetricsSnapshot::new();
+        let mut back = MetricsSnapshot::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.counter_add("c", v);
+            whole.histogram_observe("h", v);
+            let shard = if i < split { &mut front } else { &mut back };
+            shard.counter_add("c", v);
+            shard.histogram_observe("h", v);
+        }
+        prop_assert_eq!(merged(&front, &back), whole);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic(a in shard_strategy(), b in shard_strategy()) {
+        // Equal snapshots render to identical bytes regardless of the
+        // insertion order that produced them.
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        let ab_text = serde_json::to_string(&ab.to_json()).unwrap_or_default();
+        let ba_text = serde_json::to_string(&ba.to_json()).unwrap_or_default();
+        prop_assert_eq!(ab_text, ba_text);
+    }
+}

@@ -99,6 +99,10 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync + Send,
 {
+    // Counted on entry (caller thread), before the serial/parallel branch:
+    // the counter is identical at every thread count by construction.
+    intertubes_obs::counter("parallel.par_map_calls", 1);
+    intertubes_obs::counter("parallel.par_map_items", items.len() as u64);
     #[cfg(feature = "parallel")]
     if thread_count() > 1 && items.len() > 1 {
         return items
@@ -119,6 +123,8 @@ where
     R: Send,
     F: Fn(T) -> R + Sync + Send,
 {
+    intertubes_obs::counter("parallel.par_map_calls", 1);
+    intertubes_obs::counter("parallel.par_map_items", items.len() as u64);
     #[cfg(feature = "parallel")]
     if thread_count() > 1 && items.len() > 1 {
         return items
@@ -144,6 +150,10 @@ where
     F: Fn(usize, &[T]) -> R + Sync + Send,
 {
     let chunk_size = chunk_size.max(1);
+    // Items, not chunks: callers derive chunk_size from the thread count,
+    // so a chunk total would (correctly but uselessly) vary across runs.
+    intertubes_obs::counter("parallel.par_chunks_map_calls", 1);
+    intertubes_obs::counter("parallel.par_chunks_map_items", items.len() as u64);
     #[cfg(feature = "parallel")]
     if thread_count() > 1 && items.len() > chunk_size {
         let offsets_chunks: Vec<(usize, &[T])> = items

@@ -223,6 +223,8 @@ fn extend_route(route: &mut PlannedRoute, path: &Path, owner: usize) {
 
 /// Runs a campaign over the world.
 pub fn run_campaign(world: &World, cfg: &ProbeConfig) -> Campaign {
+    let mut span = intertubes_obs::stage("probes.campaign");
+    span.items("probes", cfg.probes);
     let mut rng = StdRng::seed_from_u64(world.config.seed ^ cfg.seed.rotate_left(17));
     let mut table = CarrierTable::new(world);
     // Population-weighted city sampler.
@@ -266,6 +268,8 @@ pub fn run_campaign(world: &World, cfg: &ProbeConfig) -> Campaign {
         };
         traces.push(observe(route, &mut rng, cfg, world));
     }
+    span.items("traces", traces.len());
+    span.items("unrouted", unrouted);
     Campaign {
         config: *cfg,
         traces,

@@ -232,6 +232,8 @@ pub fn overlay_campaign_with_chunk_size(
     policy: DegradationPolicy,
     chunk_size: usize,
 ) -> Result<(Overlay, DegradationReport), ProbeError> {
+    let mut span = intertubes_obs::stage("overlay");
+    span.items("traces", campaign.traces.len());
     let graph = map.graph();
     // Label → map node.
     let node_of: HashMap<&str, MapNodeId> = map
@@ -262,7 +264,13 @@ pub fn overlay_campaign_with_chunk_size(
     let mut overlay = Overlay::empty(map.conduits.len());
     let mut bad_endpoints = 0usize;
     for shard in shards {
-        let (part, bad) = shard?;
+        let (part, bad) = match shard {
+            Ok(v) => v,
+            Err(e) => {
+                span.failed();
+                return Err(e);
+            }
+        };
         overlay.merge(&part);
         bad_endpoints += bad;
     }
@@ -273,6 +281,12 @@ pub fn overlay_campaign_with_chunk_size(
         "endpoint-out-of-range",
         bad_endpoints,
     );
+    span.items("overlaid", overlay.overlaid);
+    span.items("skipped", overlay.skipped);
+    span.items("bad_endpoints", bad_endpoints);
+    if bad_endpoints > 0 {
+        span.degraded();
+    }
     Ok((overlay, report))
 }
 

@@ -184,6 +184,7 @@ fn body_for(kind: DocKind, isps: &[String], row: Option<RowHint>) -> String {
 /// city labels and provider names — never ground-truth identifiers — so the
 /// map-construction pipeline cannot cheat.
 pub fn generate_corpus(world: &World, cfg: &CorpusConfig) -> Corpus {
+    let mut span = intertubes_obs::stage("corpus.generate");
     let mut rng = StdRng::seed_from_u64(world.config.seed ^ 0x5eed_0c0de);
     let mut docs: Vec<Document> = Vec::new();
     let push = |docs: &mut Vec<Document>, kind, a: String, b: String, isps: Vec<String>, row| {
@@ -272,6 +273,7 @@ pub fn generate_corpus(world: &World, cfg: &CorpusConfig) -> Corpus {
         );
     }
 
+    span.items("documents", docs.len());
     Corpus::from_documents(docs)
 }
 

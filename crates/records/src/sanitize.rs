@@ -75,9 +75,12 @@ pub fn sanitize_corpus(
     corpus: &Corpus,
     policy: DegradationPolicy,
 ) -> Result<(Corpus, DegradationReport), RecordsError> {
+    let mut span = intertubes_obs::stage("records.sanitize");
+    span.items("documents_in", corpus.len());
     let mut report = DegradationReport::new();
     let corrupt = corpus.docs().iter().filter(|d| document_is_corrupt(d)).count();
     if corrupt > 0 && policy.is_strict() {
+        span.failed();
         // Surface the first offender for the error message.
         let doc = corpus
             .docs()
@@ -118,6 +121,10 @@ pub fn sanitize_corpus(
         "contradictory-row-claim",
         conflicts,
     );
+    span.items("documents_out", clean.len());
+    if !report.is_clean() {
+        span.degraded();
+    }
     Ok((clean, report))
 }
 

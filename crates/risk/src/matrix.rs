@@ -52,12 +52,15 @@ impl RiskMatrix {
         isps: &[String],
         policy: DegradationPolicy,
     ) -> Result<(RiskMatrix, DegradationReport), RiskError> {
+        let mut span = intertubes_obs::stage("risk.matrix");
+        span.items("conduits", map.conduits.len());
         let mut report = DegradationReport::new();
         let mut roster: Vec<String> = Vec::with_capacity(isps.len());
         let mut duplicates = 0usize;
         for isp in isps {
             if roster.contains(isp) {
                 if policy.is_strict() {
+                    span.failed();
                     return Err(RiskError::DuplicateProvider { name: isp.clone() });
                 }
                 duplicates += 1;
@@ -71,6 +74,11 @@ impl RiskMatrix {
             "duplicate-provider",
             duplicates,
         );
+        span.items("isps", roster.len());
+        span.items("duplicates", duplicates);
+        if duplicates > 0 {
+            span.degraded();
+        }
         Ok((RiskMatrix::build_roster(map, &roster), report))
     }
 

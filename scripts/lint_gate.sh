@@ -12,6 +12,20 @@ set -eu
 BUDGET=15
 
 cd "$(dirname "$0")/.."
+
+# The clippy sweep only counts crates that opt into the workspace lints.
+# Require the opt-in in every first-party crate manifest, so adding a crate
+# (e.g. crates/obs) cannot silently shrink the gate's coverage. Vendored
+# stubs (vendor/*) are third-party stand-ins and stay out of the budget.
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    if ! grep -A1 '^\[lints\]' "$manifest" | grep -q '^workspace = true'; then
+        echo "lint_gate: FAIL — $manifest does not opt into the workspace" >&2
+        echo "lints ([lints] workspace = true), so its unwrap()/expect()" >&2
+        echo "sites would escape the budget below." >&2
+        exit 1
+    fi
+done
+
 count=$(cargo clippy --workspace --all-targets 2>&1 |
     grep -c 'used `unwrap()`\|used `expect()`' || true)
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# CI trace gate (DESIGN.md §8).
+#
+# Runs the full pipeline end to end with structured tracing enabled, then
+# validates the resulting trace with the `trace_check` binary: every line
+# must be JSON, the final line must be a run manifest with exit status 0,
+# and every end-to-end stage — the four map-construction steps, the
+# traceroute overlay, the risk analyses, and all three §5 mitigation
+# solvers — must appear with a well-formed timing/outcome record.
+#
+# Artifacts land in TRACE_DIR (default trace-gate/) so CI can upload them:
+#   trace-gate/out.jsonl      the structured log + manifest
+#   trace-gate/metrics.json   the merged metrics registry
+#   trace-gate/artifacts/     the exported study artifacts
+set -eu
+
+TRACE_DIR="${TRACE_DIR:-trace-gate}"
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -q --bin intertubes --bin trace_check
+mkdir -p "$TRACE_DIR"
+
+./target/release/intertubes \
+    --trace-json "$TRACE_DIR/out.jsonl" \
+    --metrics-out "$TRACE_DIR/metrics.json" \
+    export "$TRACE_DIR/artifacts"
+
+./target/release/trace_check "$TRACE_DIR/out.jsonl"
+echo "trace_gate: OK"

@@ -10,11 +10,20 @@
 //! intertubes risk risk.json             # risk matrix + §4.2 metrics
 //! intertubes sharing-csv sharing.csv    # per-conduit tenant counts
 //! intertubes latency latency.json       # §5.3 per-pair delays
+//! intertubes robustness rob.json        # §5.1 PI/SRR + peering suggestions
 //! intertubes export out/                # everything, one file per artifact
 //! intertubes --seed 42 summary          # any subcommand on another world
 //! intertubes --strict summary           # abort (exit 3) on any dirty input
 //! intertubes --faults plan.json summary # inject faults, degrade, report
+//! intertubes --trace-json t.jsonl \
+//!            --metrics-out m.json export out/   # structured trace + metrics
 //! ```
+//!
+//! Every run records through `intertubes-obs`: stage spans, counters, and
+//! structured events. The stderr log is the session echo (filtered by
+//! `INTERTUBES_LOG`); `--trace-json` writes the full structured log as
+//! JSON Lines with the run manifest as the final line, on success *and* on
+//! data errors, so a failed run still explains itself.
 //!
 //! Exit codes: 0 success, 2 usage error, 3 data error (strict-mode
 //! failure, unreadable/invalid fault plan, unwritable output).
@@ -23,26 +32,38 @@ use std::path::Path;
 
 use intertubes::degrade::DegradationPolicy;
 use intertubes::faults::FaultPlan;
+use intertubes::obs::{self, Level, ObsConfig, RunInfo, TopologyCounts};
 use intertubes::{Study, StudyConfig};
 use serde_json::json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: intertubes [--seed N] [--strict|--lenient] [--faults <plan.json>] <command> [args]\n\
+        "usage: intertubes [flags] <command> [args]\n\
          flags:\n\
-           --seed N               world seed (default 1504)\n\
-           --threads N            worker threads for the parallel stages\n\
-                                  (default: INTERTUBES_THREADS, then rayon;\n\
-                                  output is identical at any thread count)\n\
+           --seed N               world seed (flag wins over the StudyConfig\n\
+                                  default of 1504)\n\
+           --threads N            worker threads for the parallel stages;\n\
+                                  resolution order: --threads, then the\n\
+                                  INTERTUBES_THREADS environment variable,\n\
+                                  then the rayon default (output is identical\n\
+                                  at any thread count)\n\
            --strict               abort on the first malformed input (exit 3)\n\
            --lenient              absorb malformed input and report it (default)\n\
            --faults <plan.json>   inject the fault plan into every pipeline input\n\
+           --trace-json <path>    write the structured log as JSON Lines, with\n\
+                                  the run manifest as the final line\n\
+           --metrics-out <path>   write the merged metrics registry as JSON\n\
+         environment:\n\
+           INTERTUBES_LOG         stderr log level: error|warn|info|debug|trace\n\
+                                  (default info)\n\
+           INTERTUBES_THREADS     worker thread count when --threads is absent\n\
          commands:\n\
            summary                map summary JSON to stdout\n\
            geojson <out>          constructed map as GeoJSON\n\
            risk <out>             risk matrix + sharing metrics JSON\n\
            sharing-csv <out>      per-conduit tenancy CSV\n\
            latency <out>          per-pair delay comparison JSON\n\
+           robustness <out>       PI/SRR robustness + peering suggestions JSON\n\
            resilience <out>       min-cut / bridges / articulation JSON\n\
            annotated <out>        traffic/delay/risk-annotated GeoJSON (10k probes)\n\
            whatif <out>           section-4 metrics before/after the eq.-2 plan\n\
@@ -51,16 +72,25 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Aborts with exit code 3: the inputs (not the invocation) are bad.
-fn data_error(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    std::process::exit(3);
+/// A data error (exit 3): the inputs, not the invocation, are bad.
+type CliResult<T> = Result<T, String>;
+
+struct Invocation {
+    cfg: StudyConfig,
+    faults_path: Option<String>,
+    trace_json: Option<String>,
+    metrics_out: Option<String>,
+    command: String,
+    /// `<out>` / `<dir>` operand for the commands that take one.
+    out: Option<String>,
 }
 
-fn main() {
+fn parse_args() -> Invocation {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = StudyConfig::default();
     let mut faults_path: Option<String> = None;
+    let mut trace_json: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     loop {
         match args.first().map(String::as_str) {
             Some("--threads") => {
@@ -101,127 +131,246 @@ fn main() {
                 faults_path = Some(args[1].clone());
                 args.drain(..2);
             }
+            Some("--trace-json") => {
+                if args.len() < 2 {
+                    usage();
+                }
+                trace_json = Some(args[1].clone());
+                args.drain(..2);
+            }
+            Some("--metrics-out") => {
+                if args.len() < 2 {
+                    usage();
+                }
+                metrics_out = Some(args[1].clone());
+                args.drain(..2);
+            }
             _ => break,
         }
     }
     let Some(command) = args.first().cloned() else {
         usage()
     };
+    // Validate the command shape before the session starts, so usage
+    // errors (exit 2) never produce a half-recorded trace.
+    let out = match command.as_str() {
+        "summary" => None,
+        "geojson" | "risk" | "sharing-csv" | "latency" | "robustness" | "resilience"
+        | "annotated" | "whatif" | "export" => {
+            Some(args.get(1).cloned().unwrap_or_else(|| usage()))
+        }
+        _ => usage(),
+    };
+    Invocation {
+        cfg,
+        faults_path,
+        trace_json,
+        metrics_out,
+        command,
+        out,
+    }
+}
 
-    eprintln!(
-        "building study (seed {}, {} policy, {} thread(s)) …",
-        cfg.world.seed,
-        cfg.policy,
-        intertubes::parallel::thread_count()
+fn main() {
+    let inv = parse_args();
+
+    // The session owns all stderr output from here on: events echo through
+    // the INTERTUBES_LOG-filtered renderer, and everything is captured for
+    // --trace-json / --metrics-out.
+    let session = obs::Session::begin(ObsConfig::from_env().with_echo());
+    let mut fault_plan_doc: Option<serde_json::Value> = None;
+    let mut topology: Option<TopologyCounts> = None;
+    let exit_status = match run(&inv, &mut fault_plan_doc, &mut topology) {
+        Ok(()) => 0,
+        Err(msg) => {
+            obs::event(Level::Error, "cli", &format!("error: {msg}"), &[]);
+            3
+        }
+    };
+    let record = session.finish();
+
+    let info = RunInfo {
+        command: inv.command.clone(),
+        seed: inv.cfg.world.seed,
+        policy: inv.cfg.policy.to_string(),
+        fault_plan: fault_plan_doc,
+        threads: intertubes::parallel::thread_count(),
+        exit_status,
+    };
+    let manifest = obs::build_manifest(&info, &record, topology.as_ref());
+    let mut sink_failed = false;
+    if let Some(path) = &inv.trace_json {
+        let jsonl = obs::record_to_jsonl(&record, &manifest);
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("error: cannot write trace {path}: {e}");
+            sink_failed = true;
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+    if let Some(path) = &inv.metrics_out {
+        let text = serde_json::to_string_pretty(&record.metrics.to_json())
+            .unwrap_or_else(|_| "{}".to_string());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write metrics {path}: {e}");
+            sink_failed = true;
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+    if exit_status != 0 || sink_failed {
+        std::process::exit(if exit_status != 0 { exit_status } else { 3 });
+    }
+}
+
+fn run(
+    inv: &Invocation,
+    fault_plan_doc: &mut Option<serde_json::Value>,
+    topology: &mut Option<TopologyCounts>,
+) -> CliResult<()> {
+    let cfg = inv.cfg;
+    obs::event(
+        Level::Info,
+        "cli",
+        &format!(
+            "building study (seed {}, {} policy, {} thread(s)) …",
+            cfg.world.seed,
+            cfg.policy,
+            intertubes::parallel::thread_count()
+        ),
+        &[],
     );
-    let study = match &faults_path {
+
+    let study = match &inv.faults_path {
         Some(path) => {
             let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| data_error(&format!("cannot read fault plan {path}: {e}")));
+                .map_err(|e| format!("cannot read fault plan {path}: {e}"))?;
             let plan = FaultPlan::from_json(&text)
-                .unwrap_or_else(|e| data_error(&format!("invalid fault plan {path}: {e}")));
-            match Study::new_faulted(cfg, &plan) {
-                Ok((study, report, ledger)) => {
-                    eprintln!("{}", ledger.render());
-                    eprintln!("{}", report.render());
-                    study
-                }
-                Err(e) => data_error(&e.to_string()),
-            }
+                .map_err(|e| format!("invalid fault plan {path}: {e}"))?;
+            // Embed the plan document in the run manifest so a trace is
+            // self-describing.
+            *fault_plan_doc = serde_json::from_str(&text).ok();
+            let (study, report, ledger) =
+                Study::new_faulted(cfg, &plan).map_err(|e| e.to_string())?;
+            obs::event(Level::Info, "cli", &ledger.render(), &[]);
+            obs::event(Level::Info, "cli", &report.render(), &[]);
+            study
         }
-        None => match Study::new_checked(cfg) {
-            Ok((study, report)) => {
-                eprintln!("{}", report.render());
-                study
-            }
-            Err(e) => data_error(&e.to_string()),
-        },
+        None => {
+            let (study, report) = Study::new_checked(cfg).map_err(|e| e.to_string())?;
+            obs::event(Level::Info, "cli", &report.render(), &[]);
+            study
+        }
     };
+    let s = intertubes::map::summarize(&study.built.map);
+    *topology = Some(TopologyCounts {
+        nodes: s.nodes,
+        links: s.links,
+        conduits: s.conduits,
+        validated_conduits: s.validated_conduits,
+    });
 
-    match command.as_str() {
+    let out = inv.out.as_deref();
+    match inv.command.as_str() {
         "summary" => {
             let text = serde_json::to_string_pretty(&summary_json(&study))
-                .unwrap_or_else(|e| data_error(&format!("cannot serialize summary: {e:?}")));
+                .map_err(|e| format!("cannot serialize summary: {e:?}"))?;
             println!("{text}");
         }
         "geojson" => {
-            let out = args.get(1).cloned().unwrap_or_else(|| usage());
-            write_json(&out, &intertubes::map::to_geojson(&study.built.map));
+            write_json(operand(out)?, &intertubes::map::to_geojson(&study.built.map))?;
         }
         "risk" => {
-            let out = args.get(1).cloned().unwrap_or_else(|| usage());
-            write_json(&out, &risk_json(&study));
+            write_json(operand(out)?, &risk_json(&study))?;
         }
         "sharing-csv" => {
-            let out = args.get(1).cloned().unwrap_or_else(|| usage());
-            std::fs::write(&out, sharing_csv(&study))
-                .unwrap_or_else(|e| data_error(&format!("cannot write {out}: {e}")));
-            eprintln!("wrote {out}");
+            let out = operand(out)?;
+            std::fs::write(out, sharing_csv(&study))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            wrote(out);
         }
         "latency" => {
-            let out = args.get(1).cloned().unwrap_or_else(|| usage());
             let report = study.latency();
-            write_json(&out, &serde_json::to_value(&report)
-                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))));
+            write_json(
+                operand(out)?,
+                &serde_json::to_value(&report).map_err(|e| format!("cannot serialize: {e:?}"))?,
+            )?;
+        }
+        "robustness" => {
+            write_json(operand(out)?, &robustness_json(&study)?)?;
         }
         "resilience" => {
-            let out = args.get(1).cloned().unwrap_or_else(|| usage());
-            write_json(&out, &resilience_json(&study));
+            write_json(operand(out)?, &resilience_json(&study))?;
         }
         "annotated" => {
-            let out = args.get(1).cloned().unwrap_or_else(|| usage());
             let overlay = study.overlay(&study.campaign(Some(10_000)));
-            write_json(&out, &study.annotated_geojson(&overlay));
+            write_json(operand(out)?, &study.annotated_geojson(&overlay))?;
         }
         "whatif" => {
-            let out = args.get(1).cloned().unwrap_or_else(|| usage());
             let report = study.what_if_augmented();
-            write_json(&out, &serde_json::to_value(&report)
-                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))));
+            write_json(
+                operand(out)?,
+                &serde_json::to_value(&report).map_err(|e| format!("cannot serialize: {e:?}"))?,
+            )?;
         }
         "export" => {
-            let dir = args.get(1).cloned().unwrap_or_else(|| usage());
-            std::fs::create_dir_all(&dir)
-                .unwrap_or_else(|e| data_error(&format!("cannot create {dir}: {e}")));
-            let p = |name: &str| Path::new(&dir).join(name).to_string_lossy().into_owned();
-            write_json(&p("summary.json"), &summary_json(&study));
+            let dir = operand(out)?;
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            let p = |name: &str| Path::new(dir).join(name).to_string_lossy().into_owned();
+            write_json(&p("summary.json"), &summary_json(&study))?;
             write_json(
                 &p("map.geojson"),
                 &intertubes::map::to_geojson(&study.built.map),
-            );
-            write_json(&p("risk.json"), &risk_json(&study));
+            )?;
+            write_json(&p("risk.json"), &risk_json(&study))?;
             std::fs::write(p("sharing.csv"), sharing_csv(&study))
-                .unwrap_or_else(|e| data_error(&format!("cannot write sharing.csv: {e}")));
+                .map_err(|e| format!("cannot write sharing.csv: {e}"))?;
             let lat = study.latency();
             write_json(
                 &p("latency.json"),
-                &serde_json::to_value(&lat)
-                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))),
-            );
-            write_json(&p("resilience.json"), &resilience_json(&study));
+                &serde_json::to_value(&lat).map_err(|e| format!("cannot serialize: {e:?}"))?,
+            )?;
+            write_json(&p("robustness.json"), &robustness_json(&study)?)?;
+            write_json(&p("resilience.json"), &resilience_json(&study))?;
             let overlay = study.overlay(&study.campaign(Some(10_000)));
             write_json(
                 &p("map-annotated.geojson"),
                 &study.annotated_geojson(&overlay),
-            );
+            )?;
             let wi = study.what_if_augmented();
             write_json(
                 &p("whatif.json"),
-                &serde_json::to_value(&wi)
-                .unwrap_or_else(|e| data_error(&format!("cannot serialize: {e:?}"))),
+                &serde_json::to_value(&wi).map_err(|e| format!("cannot serialize: {e:?}"))?,
+            )?;
+            obs::event(
+                Level::Info,
+                "cli",
+                &format!("exported 9 artifacts into {dir}"),
+                &[],
             );
-            eprintln!("exported 8 artifacts into {dir}");
         }
-        _ => usage(),
+        // parse_args only lets known commands through.
+        other => return Err(format!("unknown command {other}")),
     }
+    Ok(())
 }
 
-fn write_json(path: &str, value: &serde_json::Value) {
+/// The `<out>` operand, guaranteed present by `parse_args` for every
+/// command that reaches here.
+fn operand(out: Option<&str>) -> CliResult<&str> {
+    out.ok_or_else(|| "missing output operand".to_string())
+}
+
+fn wrote(path: &str) {
+    obs::event(Level::Info, "cli", &format!("wrote {path}"), &[]);
+}
+
+fn write_json(path: &str, value: &serde_json::Value) -> CliResult<()> {
     let text = serde_json::to_string_pretty(value)
-        .unwrap_or_else(|e| data_error(&format!("cannot serialize {path}: {e:?}")));
-    std::fs::write(path, text)
-        .unwrap_or_else(|e| data_error(&format!("cannot write {path}: {e}")));
-    eprintln!("wrote {path}");
+        .map_err(|e| format!("cannot serialize {path}: {e:?}"))?;
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    wrote(path);
+    Ok(())
 }
 
 fn summary_json(study: &Study) -> serde_json::Value {
@@ -253,6 +402,12 @@ fn risk_json(study: &Study) -> serde_json::Value {
         "raw_shared": intertubes::risk::raw_shared_conduits(&rm),
         "hamming_mean_distances": intertubes::risk::hamming_heatmap(&rm).mean_distances(),
     })
+}
+
+fn robustness_json(study: &Study) -> CliResult<serde_json::Value> {
+    // Paper §5.1: the 12 most-shared conduits.
+    let report = study.robustness(12);
+    serde_json::to_value(&report).map_err(|e| format!("cannot serialize: {e:?}"))
 }
 
 fn resilience_json(study: &Study) -> serde_json::Value {

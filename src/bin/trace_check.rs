@@ -1,0 +1,102 @@
+//! `trace_check` — the CI trace gate.
+//!
+//! Validates a `--trace-json` JSON Lines file produced by the `intertubes`
+//! CLI: every line must parse as JSON with a `type` field, and the final
+//! line must be a run manifest that passes
+//! [`intertubes::obs::validate_manifest`] with every end-to-end pipeline
+//! stage present.
+//!
+//! ```sh
+//! intertubes --trace-json out.jsonl export artifacts/
+//! trace_check out.jsonl
+//! ```
+//!
+//! Exit codes: 0 valid, 1 invalid trace, 2 usage error.
+
+use intertubes::obs::validate_manifest;
+use serde_json::Value;
+
+/// Stages an `export` run must record: the four map-construction steps,
+/// ingest/sanitize, the traceroute overlay, the §4 risk analyses, and all
+/// three §5 mitigation solvers.
+const REQUIRED_STAGES: [&str; 15] = [
+    "world.generate",
+    "corpus.generate",
+    "records.sanitize",
+    "map.sanitize",
+    "map.step1",
+    "map.step2",
+    "map.step3",
+    "map.step4",
+    "probes.campaign",
+    "overlay",
+    "risk.matrix",
+    "risk.hamming",
+    "mitigation.robustness",
+    "mitigation.augmentation",
+    "mitigation.latency",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        std::process::exit(2);
+    };
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        fail(&format!("{path} is empty"));
+    }
+
+    let mut last: Option<Value> = None;
+    for (i, line) in lines.iter().enumerate() {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| fail(&format!("line {}: not JSON: {e:?}", i + 1)));
+        if v.get("type").and_then(Value::as_str).is_none() {
+            fail(&format!("line {}: missing \"type\" field", i + 1));
+        }
+        last = Some(v);
+    }
+
+    let manifest = last.unwrap_or(Value::Null);
+    if manifest.get("type").and_then(Value::as_str) != Some("manifest") {
+        fail("final line is not the run manifest");
+    }
+    if manifest
+        .get("run")
+        .and_then(|r| r.get("exit_status"))
+        .and_then(Value::as_i64)
+        != Some(0)
+    {
+        fail("manifest records a non-zero exit status");
+    }
+    if let Err(problems) = validate_manifest(&manifest, &REQUIRED_STAGES) {
+        for p in &problems {
+            eprintln!("trace_check: {p}");
+        }
+        fail(&format!("{} problem(s) in {path}", problems.len()));
+    }
+
+    let stages = manifest
+        .get("stages")
+        .and_then(Value::as_object)
+        .map(|s| s.len())
+        .unwrap_or(0);
+    let events = manifest
+        .get("events")
+        .and_then(|e| e.get("total"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    println!(
+        "trace_check: ok — {} line(s), {stages} stage(s), {events} event(s)",
+        lines.len()
+    );
+}

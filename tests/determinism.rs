@@ -8,13 +8,25 @@
 //! code-path equivalence and the shard-merge algebra.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use intertubes::degrade::DegradationPolicy;
 use intertubes::faults::FaultPlan;
 use intertubes::mitigation::already_optimal_fraction;
+use intertubes::obs;
 use intertubes::parallel::with_threads;
 use intertubes::risk::hamming_heatmap;
 use intertubes::{Study, StudyConfig};
+
+/// Serializes every test in this binary. The observability session is
+/// process-exclusive, and an instrumented `Study` build in one test would
+/// otherwise bleed spans and counters into another test's run record.
+/// Lock ordering everywhere: `BATTERY` → `with_threads` → `Session::begin`.
+static BATTERY: Mutex<()> = Mutex::new(());
+
+fn battery_lock() -> std::sync::MutexGuard<'static, ()> {
+    BATTERY.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Probe volume for the overlay stage — small enough to keep the battery
 /// fast, large enough to touch every accumulator field.
@@ -69,6 +81,7 @@ fn stage_snapshot(threads: usize) -> BTreeMap<&'static str, String> {
 
 #[test]
 fn all_stages_are_thread_count_invariant() {
+    let _guard = battery_lock();
     let serial = stage_snapshot(1);
     for threads in [2, 8] {
         let parallel = stage_snapshot(threads);
@@ -106,6 +119,7 @@ fn faulted_snapshot(plan: &FaultPlan, policy: DegradationPolicy, threads: usize)
 
 #[test]
 fn faulted_builds_are_thread_count_invariant() {
+    let _guard = battery_lock();
     for (name, plan) in FaultPlan::built_in_scenarios() {
         for policy in [DegradationPolicy::Lenient, DegradationPolicy::Strict] {
             let serial = faulted_snapshot(&plan, policy, 1);
@@ -118,8 +132,123 @@ fn faulted_builds_are_thread_count_invariant() {
     }
 }
 
+/// Canonical run manifest + merged metrics for a full instrumented clean
+/// run at `threads`. The canonical form strips wall-clock fields and the
+/// environment section (DESIGN.md §8), so everything that remains —
+/// stage set, item counts, outcomes, counters, histograms, topology —
+/// must be byte-identical at every thread count.
+fn canonical_run(threads: usize) -> (String, String) {
+    with_threads(threads, || {
+        let session = obs::Session::begin(obs::ObsConfig::default());
+        let cfg = StudyConfig::default();
+        let seed = cfg.world.seed;
+        let policy = cfg.policy.to_string();
+        let (study, _report) =
+            Study::new_checked(cfg).expect("default config builds");
+        let campaign = study.campaign(Some(PROBES));
+        let _overlay = study
+            .overlay_checked(&campaign)
+            .expect("clean campaign overlays");
+        let rm = study.risk_matrix();
+        let _heat = hamming_heatmap(&rm);
+        let _rob = study.robustness(6);
+        let _aug = study.augmentation();
+        let _lat = study.latency();
+        let record = session.finish();
+
+        let s = intertubes::map::summarize(&study.built.map);
+        let info = obs::RunInfo {
+            command: "determinism-test".to_string(),
+            seed,
+            policy,
+            fault_plan: None,
+            threads: intertubes::parallel::thread_count(),
+            exit_status: 0,
+        };
+        let topology = obs::TopologyCounts {
+            nodes: s.nodes,
+            links: s.links,
+            conduits: s.conduits,
+            validated_conduits: s.validated_conduits,
+        };
+        let manifest = obs::build_manifest(&info, &record, Some(&topology));
+        let canonical = serde_json::to_string(&obs::canonicalize(&manifest))
+            .expect("canonical manifest serializes");
+        let metrics = serde_json::to_string(&record.metrics.to_json())
+            .expect("metrics serialize");
+        (canonical, metrics)
+    })
+}
+
+#[test]
+fn canonical_manifests_are_thread_count_invariant() {
+    let _guard = battery_lock();
+    let (serial_manifest, serial_metrics) = canonical_run(1);
+    for threads in [2, 8] {
+        let (manifest, metrics) = canonical_run(threads);
+        assert_eq!(
+            serial_manifest, manifest,
+            "canonical manifest diverged between 1 and {threads} threads"
+        );
+        assert_eq!(
+            serial_metrics, metrics,
+            "merged metrics diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+/// Canonical manifest for one instrumented faulted build: spans, injected
+/// fault events, degradation events, and the exit status all land in the
+/// record, so this asserts the observability layer itself is deterministic
+/// under every fault scenario and both policies.
+fn canonical_faulted_run(
+    plan: &FaultPlan,
+    policy: DegradationPolicy,
+    threads: usize,
+) -> String {
+    with_threads(threads, || {
+        let session = obs::Session::begin(obs::ObsConfig::default());
+        let mut cfg = StudyConfig::default();
+        cfg.policy = policy;
+        let seed = cfg.world.seed;
+        let exit_status = match Study::new_faulted(cfg, plan) {
+            Ok(_) => 0,
+            Err(_) => 3,
+        };
+        let record = session.finish();
+        let info = obs::RunInfo {
+            command: "determinism-test-faulted".to_string(),
+            seed,
+            policy: policy.to_string(),
+            fault_plan: None,
+            threads: intertubes::parallel::thread_count(),
+            exit_status,
+        };
+        let manifest = obs::build_manifest(&info, &record, None);
+        serde_json::to_string(&obs::canonicalize(&manifest))
+            .expect("canonical manifest serializes")
+    })
+}
+
+#[test]
+fn faulted_manifests_are_thread_count_invariant() {
+    let _guard = battery_lock();
+    for (name, plan) in FaultPlan::built_in_scenarios() {
+        for policy in [DegradationPolicy::Lenient, DegradationPolicy::Strict] {
+            let serial = canonical_faulted_run(&plan, policy, 1);
+            let parallel = canonical_faulted_run(&plan, policy, 4);
+            assert_eq!(
+                serial, parallel,
+                "manifest for scenario {name:?} under {policy} diverged \
+                 between 1 and 4 threads"
+            );
+        }
+    }
+}
+
 #[test]
 fn thread_override_env_var_is_respected() {
+    let _guard = battery_lock();
     // with_threads pins both the override and RAYON_NUM_THREADS; the
     // resolved count must follow it exactly.
     for n in [1, 3, 8] {

@@ -1,0 +1,350 @@
+//! Offline stand-in for the subset of `tracing` this workspace uses.
+//!
+//! The real crate is unavailable (no network registry), so this stub
+//! provides a compatible surface: severity [`Level`]s with the usual
+//! ordering and parsing, typed structured [`FieldValue`]s, a [`Subscriber`]
+//! trait receiving span enter/exit notifications and structured events, a
+//! process-global dispatch point, RAII [`Span`] guards, and the
+//! `error!`/`warn!`/`info!`/`debug!`/`trace!` macros.
+//!
+//! Differences from real tracing, deliberate for this environment:
+//!
+//! * **One flat subscriber slot** instead of layered registries; the
+//!   subscriber is installed with [`set_subscriber`] and — unlike
+//!   `set_global_default` — can be removed again with [`clear_subscriber`],
+//!   which is what lets `intertubes-obs` scope a recording session to one
+//!   CLI run or test body.
+//! * Spans are identified by name (the workspace opens each stage span from
+//!   one serial call site), not by generated ids, and carry their
+//!   structured fields on exit rather than via `Span::record`.
+//! * Macros accept `format!`-style message arguments only; structured
+//!   fields travel through [`dispatch_event`].
+//!
+//! With no subscriber installed every operation is a cheap no-op, so
+//! library crates can stay instrumented unconditionally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::{Arc, RwLock};
+
+/// Event/span severity, ordered from most to least severe:
+/// `Error < Warn < Info < Debug < Trace` (matching real tracing, where a
+/// *lower* level is *more* severe and filters keep `level <= max`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The system cannot proceed as asked.
+    Error,
+    /// Something degraded but the run continues.
+    Warn,
+    /// Normal operational signposts (the default filter).
+    Info,
+    /// Diagnostic detail for debugging.
+    Debug,
+    /// Very fine-grained detail.
+    Trace,
+}
+
+impl Level {
+    /// Stable lower-case label (`"info"`, …) used in logs and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name, case-insensitively. `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One typed structured-field value attached to an event or span exit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string field.
+    Str(String),
+    /// An unsigned integer field (counts, sizes).
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A floating-point field (durations, ratios).
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// The sink for spans and events. `intertubes-obs` installs its recorder
+/// as the process subscriber; with none installed everything no-ops.
+pub trait Subscriber: Send + Sync {
+    /// Whether events at `level` should be constructed at all.
+    fn enabled(&self, level: Level) -> bool;
+    /// A named span was entered on the calling thread.
+    fn span_enter(&self, name: &str);
+    /// The matching span exited, carrying its structured fields
+    /// (the workspace convention includes `wall_ms`, item counts, and an
+    /// `outcome` string).
+    fn span_exit(&self, name: &str, fields: &[(&str, FieldValue)]);
+    /// A structured event was emitted on the calling thread.
+    fn event(&self, level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]);
+}
+
+/// The process-global subscriber slot.
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+/// Installs `sub` as the process subscriber, returning the previous one.
+pub fn set_subscriber(sub: Arc<dyn Subscriber>) -> Option<Arc<dyn Subscriber>> {
+    let mut slot = SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner());
+    slot.replace(sub)
+}
+
+/// Removes the process subscriber (if any), returning it.
+pub fn clear_subscriber() -> Option<Arc<dyn Subscriber>> {
+    let mut slot = SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner());
+    slot.take()
+}
+
+/// Whether a subscriber is installed and enabled for `level`.
+pub fn enabled(level: Level) -> bool {
+    with_subscriber(|s| s.enabled(level)).unwrap_or(false)
+}
+
+/// Runs `f` against the installed subscriber, if any.
+pub fn with_subscriber<R>(f: impl FnOnce(&dyn Subscriber) -> R) -> Option<R> {
+    let slot = SUBSCRIBER.read().unwrap_or_else(|e| e.into_inner());
+    slot.as_deref().map(f)
+}
+
+/// Dispatches a structured event to the subscriber (no-op without one).
+pub fn dispatch_event(level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+    with_subscriber(|s| {
+        if s.enabled(level) {
+            s.event(level, target, message, fields);
+        }
+    });
+}
+
+/// An entered named span; exiting happens on drop (or explicitly via
+/// [`Span::exit_with`], which attaches structured fields).
+#[must_use = "a span is exited when dropped; binding it to `_` exits immediately"]
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    live: bool,
+}
+
+impl Span {
+    /// Enters a named span on the calling thread.
+    pub fn enter(name: impl Into<String>) -> Span {
+        let name = name.into();
+        with_subscriber(|s| s.span_enter(&name));
+        Span { name, live: true }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Exits the span, attaching structured fields to the exit record.
+    pub fn exit_with(mut self, fields: &[(&str, FieldValue)]) {
+        self.live = false;
+        with_subscriber(|s| s.span_exit(&self.name, fields));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.live {
+            with_subscriber(|s| s.span_exit(&self.name, &[]));
+        }
+    }
+}
+
+/// Emits a `format!`-style event at an explicit level.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $($arg:tt)*) => {{
+        let lvl = $lvl;
+        if $crate::enabled(lvl) {
+            $crate::dispatch_event(lvl, module_path!(), &format!($($arg)*), &[]);
+        }
+    }};
+}
+
+/// Emits an error-level event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::event!($crate::Level::Error, $($arg)*) };
+}
+
+/// Emits a warn-level event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::event!($crate::Level::Warn, $($arg)*) };
+}
+
+/// Emits an info-level event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::event!($crate::Level::Info, $($arg)*) };
+}
+
+/// Emits a debug-level event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::event!($crate::Level::Debug, $($arg)*) };
+}
+
+/// Emits a trace-level event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => { $crate::event!($crate::Level::Trace, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the process-global subscriber slot.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Captures everything it is sent (test double).
+    #[derive(Default)]
+    struct Capture {
+        lines: Mutex<Vec<String>>,
+    }
+
+    impl Subscriber for Capture {
+        fn enabled(&self, level: Level) -> bool {
+            level <= Level::Debug
+        }
+        fn span_enter(&self, name: &str) {
+            self.lines
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(format!("enter {name}"));
+        }
+        fn span_exit(&self, name: &str, fields: &[(&str, FieldValue)]) {
+            self.lines
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(format!("exit {name} ({} fields)", fields.len()));
+        }
+        fn event(&self, level: Level, _target: &str, message: &str, _fields: &[(&str, FieldValue)]) {
+            self.lines
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(format!("{level} {message}"));
+        }
+    }
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert_eq!(Level::Debug.as_str(), "debug");
+    }
+
+    #[test]
+    fn dispatch_roundtrip_and_filtering() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cap = Arc::new(Capture::default());
+        let prev = set_subscriber(cap.clone());
+        let span = Span::enter("stage");
+        info!("hello {}", 7);
+        trace!("filtered out");
+        span.exit_with(&[("items", FieldValue::U64(3))]);
+        clear_subscriber();
+        if let Some(p) = prev {
+            set_subscriber(p);
+        }
+        let lines = cap.lines.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(
+            *lines,
+            vec![
+                "enter stage".to_string(),
+                "info hello 7".to_string(),
+                "exit stage (1 fields)".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn no_subscriber_is_a_noop() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_subscriber();
+        assert!(!enabled(Level::Error));
+        let span = Span::enter("quiet");
+        drop(span);
+        info!("goes nowhere");
+    }
+}
