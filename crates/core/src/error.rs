@@ -5,10 +5,12 @@
 //! `RiskError`); [`IntertubesError`] unifies them at the facade so callers
 //! handle one type and can still match on the failing layer. All of them
 //! surface only under [`DegradationPolicy::Strict`]
-//! (lenient runs degrade and report instead), except [`Plan`] and [`Io`],
-//! which are usage errors independent of the policy.
+//! (lenient runs degrade and report instead), except [`Snapshot`],
+//! [`Plan`] and [`Io`], which concern artifacts on disk and are
+//! independent of the policy.
 //!
 //! [`DegradationPolicy::Strict`]: intertubes_degrade::DegradationPolicy
+//! [`Snapshot`]: IntertubesError::Snapshot
 //! [`Plan`]: IntertubesError::Plan
 //! [`Io`]: IntertubesError::Io
 
@@ -19,6 +21,7 @@ use intertubes_map::MapError;
 use intertubes_probes::ProbeError;
 use intertubes_records::RecordsError;
 use intertubes_risk::RiskError;
+use intertubes_serve::SnapshotError;
 
 /// Any error of the reproduction, tagged by the layer that raised it.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +40,8 @@ pub enum IntertubesError {
     Probe(ProbeError),
     /// Risk layer (matrix construction).
     Risk(RiskError),
+    /// Serving layer (snapshot container, query engine).
+    Snapshot(SnapshotError),
     /// A fault plan failed to parse.
     Plan(String),
     /// A file could not be read or written.
@@ -53,6 +58,7 @@ impl std::fmt::Display for IntertubesError {
             IntertubesError::Map(e) => write!(f, "map: {e}"),
             IntertubesError::Probe(e) => write!(f, "probes: {e}"),
             IntertubesError::Risk(e) => write!(f, "risk: {e}"),
+            IntertubesError::Snapshot(e) => write!(f, "snapshot: {e}"),
             IntertubesError::Plan(msg) => write!(f, "fault plan: {msg}"),
             IntertubesError::Io(msg) => write!(f, "io: {msg}"),
         }
@@ -69,6 +75,7 @@ impl std::error::Error for IntertubesError {
             IntertubesError::Map(e) => Some(e),
             IntertubesError::Probe(e) => Some(e),
             IntertubesError::Risk(e) => Some(e),
+            IntertubesError::Snapshot(e) => Some(e),
             IntertubesError::Plan(_) | IntertubesError::Io(_) => None,
         }
     }
@@ -113,6 +120,12 @@ impl From<ProbeError> for IntertubesError {
 impl From<RiskError> for IntertubesError {
     fn from(e: RiskError) -> Self {
         IntertubesError::Risk(e)
+    }
+}
+
+impl From<SnapshotError> for IntertubesError {
+    fn from(e: SnapshotError) -> Self {
+        IntertubesError::Snapshot(e)
     }
 }
 

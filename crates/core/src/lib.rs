@@ -29,7 +29,7 @@
 //! ```
 //!
 //! The sub-crates are re-exported as modules: [`geo`], [`graph`], [`atlas`],
-//! [`records`], [`map`], [`probes`], [`risk`], [`mitigation`].
+//! [`records`], [`map`], [`probes`], [`risk`], [`mitigation`], [`serve`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,3 +52,4 @@ pub use intertubes_parallel as parallel;
 pub use intertubes_probes as probes;
 pub use intertubes_records as records;
 pub use intertubes_risk as risk;
+pub use intertubes_serve as serve;

@@ -281,6 +281,52 @@ impl Study {
         intertubes_mitigation::what_if(&self.built.map, &self.mapped_isp_names(), &plan)
     }
 
+    /// Freezes this study into a serving snapshot (DESIGN.md §9): the
+    /// constructed map, the §4 risk artifacts, a traceroute overlay, and
+    /// the precomputed path index, all sealed in the checksummed
+    /// `intertubes-snapshot/v1` container.
+    ///
+    /// `probes` sizes the embedded overlay campaign (`None` = the
+    /// configured probe count). This is the expensive build phase the
+    /// serving layer amortizes: loading the result back via
+    /// [`intertubes_serve::StudySnapshot::load`] is orders of magnitude
+    /// cheaper than `Study::new`.
+    pub fn snapshot(&self, probes: Option<usize>) -> intertubes_serve::StudySnapshot {
+        let mut span = intertubes_obs::stage("serve.freeze");
+        let isps = self.mapped_isp_names();
+        let rm = self.risk_matrix();
+        let hamming = intertubes_risk::hamming_heatmap(&rm);
+        let campaign = self.campaign(probes);
+        let overlay = self.overlay(&campaign);
+        // The §5.3 study supplies the right-of-way baselines the path
+        // index cannot recompute from the map alone (they live in the
+        // world's transport networks, which the snapshot does not carry).
+        let latency = self.latency();
+        let row_us_by_pair: std::collections::BTreeMap<(String, String), f64> = latency
+            .pairs
+            .iter()
+            .map(|p| ((p.a.clone(), p.b.clone()), p.row_us))
+            .collect();
+        let paths = intertubes_serve::PathIndex::build(
+            &self.built.map,
+            self.config.latency.k_paths,
+            self.config.latency.detour_cap,
+            &row_us_by_pair,
+        );
+        span.items("conduits", self.built.map.conduits.len());
+        span.items("pairs", paths.pairs.len());
+        intertubes_serve::StudySnapshot {
+            // StudyConfig serializes infallibly (plain nested structs).
+            config: serde_json::to_value(self.config).unwrap_or(serde_json::Value::Null),
+            map: self.built.map.clone(),
+            isps,
+            risk: rm,
+            hamming,
+            overlay,
+            paths,
+        }
+    }
+
     /// Annotated GeoJSON (paper §8 future work): the constructed map with
     /// per-conduit traffic, delay and shared-risk properties. Pass the
     /// overlay whose traffic counts should be embedded.

@@ -38,7 +38,7 @@ impl Polyline {
 
     /// Last vertex.
     pub fn end(&self) -> GeoPoint {
-        *self.points.last().expect("polyline invariant: >= 2 points")
+        self.points[self.points.len() - 1]
     }
 
     /// Number of vertices.

@@ -33,10 +33,7 @@ impl Path {
 
     /// The destination node.
     pub fn target(&self) -> NodeId {
-        *self
-            .nodes
-            .last()
-            .expect("path invariant: at least one node")
+        self.nodes[self.nodes.len() - 1]
     }
 
     /// Number of edges (hops).

@@ -33,7 +33,11 @@ pub fn yen_k_shortest<N, E>(
     let mut candidates: Vec<Path> = Vec::new();
 
     while accepted.len() < k {
-        let last = accepted.last().expect("accepted is non-empty").clone();
+        // `accepted` starts non-empty and only grows; if that invariant
+        // ever broke, stopping with what we have beats panicking.
+        let Some(last) = accepted.last().cloned() else {
+            break;
+        };
         // Each node of the last accepted path except the target is a spur.
         for j in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[j];
@@ -82,11 +86,13 @@ pub fn yen_k_shortest<N, E>(
             break;
         }
         // Pop the cheapest candidate into the accepted list.
-        let (best_idx, _) = candidates
+        let Some((best_idx, _)) = candidates
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| a.cost.total_cmp(&b.cost))
-            .expect("candidates is non-empty");
+        else {
+            break;
+        };
         accepted.push(candidates.swap_remove(best_idx));
     }
     Ok(accepted)

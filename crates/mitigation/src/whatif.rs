@@ -2,7 +2,7 @@
 //! re-run the §4 risk assessment on the upgraded infrastructure — closing
 //! the loop the paper leaves open between §5's proposals and §4's metrics.
 
-use intertubes_map::{FiberMap, MapConduit, Provenance, Tenancy, TenancySource};
+use intertubes_map::{FiberMap, MapConduit, MapConduitId, Provenance, Tenancy, TenancySource};
 use intertubes_risk::RiskMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +60,159 @@ pub fn apply_augmentation(map: &FiberMap, plan: &AugmentationReport) -> FiberMap
         });
     }
     out
+}
+
+/// Before/after comparison of the §4.2 headline metrics under a conduit
+/// cut (the destructive dual of [`what_if`]'s augmentation: instead of
+/// adding trenches, a set of existing conduits is severed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutReport {
+    /// Conduits severed by the cut.
+    pub conduits_cut: usize,
+    /// Providers that lost at least one tenancy, in roster order.
+    pub affected_isps: Vec<String>,
+    /// Total (conduit, provider) tenancies severed among the tracked
+    /// providers.
+    pub links_lost: usize,
+    /// Fraction of surviving conduits shared by ≥ 4 providers, before.
+    pub ge4_before: f64,
+    /// Fraction of surviving conduits shared by ≥ 4 providers, after.
+    pub ge4_after: f64,
+    /// Highest tenant count on any conduit, before.
+    pub max_sharing_before: u16,
+    /// Highest tenant count on any conduit, after.
+    pub max_sharing_after: u16,
+    /// Mean per-provider average shared risk, before.
+    pub mean_avg_risk_before: f64,
+    /// Mean per-provider average shared risk, after.
+    pub mean_avg_risk_after: f64,
+}
+
+/// Materializes a conduit cut: clones the map and removes every conduit in
+/// `cut`. Duplicate and out-of-range ids are ignored. Node ids are stable;
+/// surviving conduits keep their relative order (so downstream ids are the
+/// compaction of the survivors).
+pub fn apply_cut(map: &FiberMap, cut: &[MapConduitId]) -> FiberMap {
+    let mut sever = vec![false; map.conduits.len()];
+    for id in cut {
+        if let Some(s) = sever.get_mut(id.index()) {
+            *s = true;
+        }
+    }
+    let mut out = map.clone();
+    let mut keep = sever.iter().map(|&s| !s);
+    out.conduits.retain(|_| keep.next().unwrap_or(true));
+    out
+}
+
+/// Per-conduit share counts and per-provider conduit lists, computed with
+/// [`RiskMatrix::build`]'s lenient semantics (duplicate roster names
+/// dropped, first occurrence wins) but without opening an obs stage span —
+/// the §4.2 metrics below must be computable from serving worker threads,
+/// where spans are forbidden by the DESIGN.md §8 contract.
+struct SharingProfile {
+    /// `shared[c]`: roster providers sharing conduit `c`.
+    shared: Vec<u16>,
+    /// `conduits_of[i]`: conduit ids provider `i` is a tenant of.
+    conduits_of: Vec<Vec<usize>>,
+}
+
+impl SharingProfile {
+    fn build(map: &FiberMap, isps: &[String]) -> SharingProfile {
+        let mut roster: Vec<&String> = Vec::with_capacity(isps.len());
+        for isp in isps {
+            if !roster.contains(&isp) {
+                roster.push(isp);
+            }
+        }
+        let mut shared = vec![0u16; map.conduits.len()];
+        let conduits_of: Vec<Vec<usize>> = roster
+            .iter()
+            .map(|isp| {
+                let mut mine = Vec::new();
+                for (c, conduit) in map.conduits.iter().enumerate() {
+                    if conduit.has_tenant(isp) {
+                        shared[c] += 1;
+                        mine.push(c);
+                    }
+                }
+                mine
+            })
+            .collect();
+        SharingProfile {
+            shared,
+            conduits_of,
+        }
+    }
+
+    /// Fraction of conduits shared by ≥ 4 providers (§4.2).
+    fn frac_ge4(&self) -> f64 {
+        self.shared.iter().filter(|&&s| s >= 4).count() as f64 / self.shared.len().max(1) as f64
+    }
+
+    /// Mean per-provider average shared risk, as [`mean_avg_risk`].
+    fn mean_avg_risk(&self) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for cs in &self.conduits_of {
+            if cs.is_empty() {
+                continue;
+            }
+            total += cs.iter().map(|&c| self.shared[c] as f64).sum::<f64>() / cs.len() as f64;
+            n += 1;
+        }
+        total / n.max(1) as f64
+    }
+}
+
+/// Runs the before/after comparison for a conduit cut.
+///
+/// Safe to call from worker threads: unlike [`what_if`] it opens no obs
+/// stage span (the serving scheduler invokes it from parallel compute
+/// waves, where spans are forbidden by the DESIGN.md §8 contract) — only
+/// associative counters, which merge identically at any thread count.
+pub fn what_if_cut(map: &FiberMap, isps: &[String], cut: &[MapConduitId]) -> CutReport {
+    intertubes_obs::counter("mitigation.whatif_cut_calls", 1);
+    let before = SharingProfile::build(map, isps);
+    let severed = apply_cut(map, cut);
+    let after = SharingProfile::build(&severed, isps);
+    let mut in_cut = vec![false; map.conduits.len()];
+    for id in cut {
+        if let Some(s) = in_cut.get_mut(id.index()) {
+            *s = true;
+        }
+    }
+    let mut links_lost = 0usize;
+    let mut seen: Vec<&String> = Vec::with_capacity(isps.len());
+    let affected_isps: Vec<String> = isps
+        .iter()
+        .filter(|isp| {
+            if seen.contains(isp) {
+                return false;
+            }
+            seen.push(isp);
+            let lost = map
+                .conduits
+                .iter()
+                .zip(&in_cut)
+                .filter(|(c, &s)| s && c.has_tenant(isp))
+                .count();
+            links_lost += lost;
+            lost > 0
+        })
+        .cloned()
+        .collect();
+    CutReport {
+        conduits_cut: in_cut.iter().filter(|&&s| s).count(),
+        affected_isps,
+        links_lost,
+        ge4_before: before.frac_ge4(),
+        ge4_after: after.frac_ge4(),
+        max_sharing_before: before.shared.iter().copied().max().unwrap_or(0),
+        max_sharing_after: after.shared.iter().copied().max().unwrap_or(0),
+        mean_avg_risk_before: before.mean_avg_risk(),
+        mean_avg_risk_after: after.mean_avg_risk(),
+    }
 }
 
 fn mean_avg_risk(rm: &RiskMatrix) -> f64 {
@@ -174,6 +327,92 @@ mod tests {
         assert_eq!(report.max_sharing_after, 2);
         assert!(report.mean_avg_risk_after < report.mean_avg_risk_before);
         assert!(report.ge4_after < report.ge4_before);
+    }
+
+    /// A second toy map with two conduits so a cut leaves survivors.
+    fn toy_map_two() -> FiberMap {
+        let mut m = toy_map();
+        let b = m.find_node("B, XX").unwrap();
+        let c = m.ensure_node("C, XX", GeoPoint::new_unchecked(40.0, -96.0));
+        m.conduits.push(MapConduit {
+            a: b,
+            b: c,
+            geometry: Polyline::straight(
+                GeoPoint::new_unchecked(40.0, -98.0),
+                GeoPoint::new_unchecked(40.0, -96.0),
+            )
+            .densify(40.0)
+            .unwrap(),
+            tenants: vec![
+                Tenancy {
+                    isp: "W".into(),
+                    source: TenancySource::PublishedMap,
+                },
+                Tenancy {
+                    isp: "X".into(),
+                    source: TenancySource::PublishedMap,
+                },
+            ],
+            provenance: Provenance::Step1,
+            validated: true,
+            row: None,
+        });
+        m
+    }
+
+    #[test]
+    fn apply_cut_removes_only_named_conduits() {
+        let m = toy_map_two();
+        let severed = apply_cut(&m, &[MapConduitId(0)]);
+        assert_eq!(severed.conduits.len(), 1);
+        assert_eq!(severed.conduits[0].tenant_count(), 2);
+        // Duplicates and out-of-range ids are ignored.
+        let same = apply_cut(&m, &[MapConduitId(0), MapConduitId(0), MapConduitId(99)]);
+        assert_eq!(same.conduits.len(), 1);
+        // Empty cut is the identity.
+        assert_eq!(apply_cut(&m, &[]).conduits.len(), 2);
+    }
+
+    #[test]
+    fn what_if_cut_reports_affected_isps_and_risk_drop() {
+        let m = toy_map_two();
+        let isps: Vec<String> = ["W", "X", "Y", "Z"].iter().map(|s| s.to_string()).collect();
+        let report = what_if_cut(&m, &isps, &[MapConduitId(0)]);
+        assert_eq!(report.conduits_cut, 1);
+        assert_eq!(report.affected_isps, vec!["W", "X", "Y", "Z"]);
+        assert_eq!(report.links_lost, 4);
+        assert_eq!(report.max_sharing_before, 4);
+        assert_eq!(report.max_sharing_after, 2);
+        assert!(report.ge4_after < report.ge4_before);
+    }
+
+    #[test]
+    fn sharing_profile_matches_risk_matrix_semantics() {
+        let m = toy_map_two();
+        // Duplicate roster entry: both paths must drop it (first wins).
+        let isps: Vec<String> = ["W", "X", "W", "Y", "Z", "Q"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rm = RiskMatrix::build(&m, &isps);
+        let profile = SharingProfile::build(&m, &isps);
+        assert_eq!(profile.shared, rm.shared);
+        for (i, cs) in profile.conduits_of.iter().enumerate() {
+            assert_eq!(cs, &rm.conduits_of(i), "provider {i}");
+        }
+        assert_eq!(profile.mean_avg_risk(), mean_avg_risk(&rm));
+    }
+
+    #[test]
+    fn empty_cut_is_identity() {
+        let m = toy_map_two();
+        let isps: Vec<String> = ["W", "X"].iter().map(|s| s.to_string()).collect();
+        let report = what_if_cut(&m, &isps, &[]);
+        assert_eq!(report.conduits_cut, 0);
+        assert!(report.affected_isps.is_empty());
+        assert_eq!(report.links_lost, 0);
+        assert_eq!(report.max_sharing_before, report.max_sharing_after);
+        assert_eq!(report.mean_avg_risk_before, report.mean_avg_risk_after);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! The sharded LRU result cache (DESIGN.md §9.4).
+//!
+//! Entries are keyed by the full canonical query JSON — the FNV-1a hash
+//! only selects the shard, so hash collisions cannot alias two distinct
+//! queries. Each shard is an independent LRU with its own recency clock;
+//! eviction removes the least recently touched entry of the overfull
+//! shard.
+//!
+//! The cache never *computes* anything, which is how it stays inside the
+//! determinism contract: the scheduler consults and fills it from serial
+//! sections only, so hit/miss patterns — and therefore evictions — are a
+//! function of the workload order alone, not of thread interleaving. A
+//! hit returns the exact bytes a recomputation would produce, because the
+//! engine is pure.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::query::key_hash;
+
+/// Cache sizing and switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Master switch; disabled means every lookup misses and nothing is
+    /// stored (the cache-off arm of the determinism gate).
+    pub enabled: bool,
+    /// Number of independent shards (≥ 1).
+    pub shards: usize,
+    /// LRU capacity per shard (≥ 1).
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            shards: 8,
+            capacity_per_shard: 256,
+        }
+    }
+}
+
+struct Shard {
+    /// Canonical key → (response bytes, last-touch tick).
+    entries: HashMap<String, (String, u64)>,
+    /// Recency clock, bumped on every touch.
+    tick: u64,
+}
+
+/// The sharded LRU response cache.
+pub struct ResultCache {
+    cfg: CacheConfig,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ResultCache {
+    /// An empty cache with the given shape.
+    pub fn new(cfg: CacheConfig) -> ResultCache {
+        let shards = cfg.shards.max(1);
+        ResultCache {
+            cfg,
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let i = (key_hash(key) % self.shards.len() as u64) as usize;
+        &self.shards[i]
+    }
+
+    /// Looks up a canonical key, refreshing its recency on hit. Always
+    /// misses when the cache is disabled.
+    pub fn get(&self, key: &str) -> Option<String> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        let (value, last) = shard.entries.get_mut(key)?;
+        *last = tick;
+        Some(value.clone())
+    }
+
+    /// Stores a response under its canonical key, evicting the shard's
+    /// least recently touched entry if the shard is over capacity. A no-op
+    /// when the cache is disabled.
+    pub fn insert(&self, key: &str, value: &str) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let cap = self.cfg.capacity_per_shard.max(1);
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.entries.insert(key.to_string(), (value.to_string(), tick));
+        while shard.entries.len() > cap {
+            // Oldest tick; ties broken by key so eviction is deterministic
+            // even if the clock ever stalls.
+            let victim = shard
+                .entries
+                .iter()
+                .min_by(|(ka, (_, ta)), (kb, (_, tb))| ta.cmp(tb).then_with(|| ka.cmp(kb)))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    shard.entries.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(shards: usize, cap: usize) -> ResultCache {
+        ResultCache::new(CacheConfig {
+            enabled: true,
+            shards,
+            capacity_per_shard: cap,
+        })
+    }
+
+    #[test]
+    fn get_after_insert_returns_exact_bytes() {
+        let cache = tiny(4, 8);
+        assert_eq!(cache.get("k1"), None);
+        cache.insert("k1", "{\"v\":1}");
+        assert_eq!(cache.get("k1").as_deref(), Some("{\"v\":1}"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        // One shard so the eviction order is fully observable.
+        let cache = tiny(1, 2);
+        cache.insert("a", "1");
+        cache.insert("b", "2");
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c", "3");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = ResultCache::new(CacheConfig {
+            enabled: false,
+            ..CacheConfig::default()
+        });
+        cache.insert("k", "v");
+        assert_eq!(cache.get("k"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_value_in_place() {
+        let cache = tiny(2, 4);
+        cache.insert("k", "old");
+        cache.insert("k", "new");
+        assert_eq!(cache.get("k").as_deref(), Some("new"));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! The pure query engine (DESIGN.md §9.3).
+//!
+//! [`QueryEngine::answer`] is a pure function of the snapshot and the
+//! query: no I/O, no pipeline re-runs, no obs stage spans (it executes on
+//! scheduler worker threads, where only associative counters are allowed).
+//! Purity is what makes the serving determinism contract cheap to state —
+//! cache hits return previously computed bytes, and recomputation returns
+//! the same bytes.
+
+use std::collections::BTreeMap;
+
+use intertubes_map::MapConduitId;
+use intertubes_mitigation::what_if_cut;
+
+use crate::query::{
+    CutImpactView, IspRiskView, LatencyView, NeighborView, PairDeltaView, Query, Response,
+    SharedConduitView, SimilarityView, TopSharedView,
+};
+use crate::snapshot::StudySnapshot;
+
+/// A loaded snapshot plus the lookup tables the queries need. Shared
+/// read-only across scheduler workers (`&self` everywhere).
+#[derive(Debug)]
+pub struct QueryEngine {
+    snap: StudySnapshot,
+    /// Map node id by label.
+    node_by_label: BTreeMap<String, u32>,
+    /// Risk-matrix row by provider name.
+    isp_row: BTreeMap<String, usize>,
+}
+
+impl QueryEngine {
+    /// Builds the lookup tables over a loaded snapshot.
+    pub fn new(snap: StudySnapshot) -> QueryEngine {
+        let node_by_label = snap
+            .map
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.label.clone(), i as u32))
+            .collect();
+        let isp_row = snap
+            .risk
+            .isps
+            .iter()
+            .enumerate()
+            .map(|(i, isp)| (isp.clone(), i))
+            .collect();
+        QueryEngine {
+            snap,
+            node_by_label,
+            isp_row,
+        }
+    }
+
+    /// The snapshot this engine serves.
+    pub fn snapshot(&self) -> &StudySnapshot {
+        &self.snap
+    }
+
+    /// Answers one query. Pure and total: every input maps to exactly one
+    /// response, unknown entities map to [`Response::NotFound`], and no
+    /// path panics.
+    pub fn answer(&self, query: &Query) -> Response {
+        intertubes_obs::counter("serve.queries_answered", 1);
+        match query {
+            Query::IspRisk { isp } => self.isp_risk(isp),
+            Query::Similarity { isp } => self.similarity(isp),
+            Query::Latency { a, b } => self.latency(a, b),
+            Query::TopShared { k } => self.top_shared(*k),
+            Query::CutImpact { conduits } => self.cut_impact(conduits),
+        }
+    }
+
+    fn isp_risk(&self, isp: &str) -> Response {
+        let Some(&row) = self.isp_row.get(isp) else {
+            return Response::NotFound {
+                what: format!("provider {isp:?}"),
+            };
+        };
+        let mine = self.snap.risk.conduits_of(row);
+        let shared = &self.snap.risk.shared;
+        let sum: u64 = mine.iter().map(|&c| shared[c] as u64).sum();
+        Response::IspRisk(IspRiskView {
+            isp: isp.to_string(),
+            conduits: mine.len(),
+            avg_shared: sum as f64 / mine.len().max(1) as f64,
+            max_shared: mine.iter().map(|&c| shared[c]).max().unwrap_or(0),
+            ge4_conduits: mine.iter().filter(|&&c| shared[c] >= 4).count(),
+            observed_conduits: self
+                .snap
+                .overlay
+                .isp_conduits
+                .get(isp)
+                .map_or(0, |cs| cs.len()),
+        })
+    }
+
+    fn similarity(&self, isp: &str) -> Response {
+        let heat = &self.snap.hamming;
+        let Some(row) = heat.isps.iter().position(|name| name == isp) else {
+            return Response::NotFound {
+                what: format!("provider {isp:?}"),
+            };
+        };
+        let others: Vec<(u32, &String)> = heat.distance[row]
+            .iter()
+            .zip(&heat.isps)
+            .enumerate()
+            .filter(|&(j, _)| j != row)
+            .map(|(_, (&d, name))| (d, name))
+            .collect();
+        let mean = others.iter().map(|&(d, _)| d as f64).sum::<f64>()
+            / others.len().max(1) as f64;
+        let mut ranked = others;
+        ranked.sort_by(|x, y| x.0.cmp(&y.0).then_with(|| x.1.cmp(y.1)));
+        Response::Similarity(SimilarityView {
+            isp: isp.to_string(),
+            mean_distance: mean,
+            nearest: ranked
+                .into_iter()
+                .take(5)
+                .map(|(distance, name)| NeighborView {
+                    isp: name.clone(),
+                    distance,
+                })
+                .collect(),
+        })
+    }
+
+    fn latency(&self, a: &str, b: &str) -> Response {
+        let (Some(&na), Some(&nb)) = (self.node_by_label.get(a), self.node_by_label.get(b))
+        else {
+            return Response::NotFound {
+                what: format!("city pair {a:?} – {b:?}"),
+            };
+        };
+        let Some(pair) = self.snap.paths.lookup(na, nb) else {
+            return Response::NotFound {
+                what: format!("conduit-joined pair {a:?} – {b:?}"),
+            };
+        };
+        let (Some(best_us), Some(avg_us)) =
+            (pair.best_us(), pair.avg_us(self.snap.paths.detour_cap))
+        else {
+            return Response::NotFound {
+                what: format!("route between {a:?} and {b:?}"),
+            };
+        };
+        let (a_label, b_label) = (
+            &self.snap.map.nodes[pair.a as usize].label,
+            &self.snap.map.nodes[pair.b as usize].label,
+        );
+        Response::Latency(LatencyView {
+            a: a_label.clone(),
+            b: b_label.clone(),
+            best_us,
+            avg_us,
+            row_us: pair.row_us,
+            los_us: pair.los_us,
+            k_paths: pair.paths.len(),
+        })
+    }
+
+    fn top_shared(&self, k: usize) -> Response {
+        let shared = &self.snap.risk.shared;
+        let mut ids: Vec<u32> = (0..shared.len() as u32).collect();
+        // §4.2 ranking order: share count descending, id ascending — the
+        // same tie-break as `mitigation::heaviest_conduits`.
+        ids.sort_by(|&x, &y| {
+            shared[y as usize]
+                .cmp(&shared[x as usize])
+                .then_with(|| x.cmp(&y))
+        });
+        Response::TopShared(TopSharedView {
+            ranking: ids
+                .into_iter()
+                .take(k)
+                .map(|c| {
+                    let conduit = &self.snap.map.conduits[c as usize];
+                    SharedConduitView {
+                        conduit: c,
+                        a: self.snap.map.nodes[conduit.a.index()].label.clone(),
+                        b: self.snap.map.nodes[conduit.b.index()].label.clone(),
+                        shared: shared[c as usize],
+                    }
+                })
+                .collect(),
+        })
+    }
+
+    fn cut_impact(&self, conduits: &[u32]) -> Response {
+        let n = self.snap.map.conduits.len();
+        if let Some(&bad) = conduits.iter().find(|&&c| c as usize >= n) {
+            return Response::NotFound {
+                what: format!("conduit {bad} (map has {n})"),
+            };
+        }
+        let ids: Vec<MapConduitId> = conduits.iter().map(|&c| MapConduitId(c)).collect();
+        let report = what_if_cut(&self.snap.map, &self.snap.isps, &ids);
+        let mut severed = vec![false; n];
+        for &c in conduits {
+            severed[c as usize] = true;
+        }
+        let pair_deltas = self
+            .snap
+            .paths
+            .pairs
+            .iter()
+            .filter_map(|pair| {
+                let best = pair.paths.first()?;
+                let hit = best
+                    .conduits
+                    .iter()
+                    .any(|&c| severed.get(c as usize).copied().unwrap_or(false));
+                if !hit {
+                    return None;
+                }
+                let before_us = pair.best_us()?;
+                let after_us = pair.best_surviving_us(&severed);
+                Some(PairDeltaView {
+                    a: self.snap.map.nodes[pair.a as usize].label.clone(),
+                    b: self.snap.map.nodes[pair.b as usize].label.clone(),
+                    before_us,
+                    after_us,
+                    delta_us: after_us.map(|after| after - before_us),
+                })
+            })
+            .collect();
+        Response::CutImpact(CutImpactView {
+            report,
+            pair_deltas,
+        })
+    }
+}

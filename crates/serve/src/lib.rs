@@ -1,0 +1,41 @@
+//! The serving layer: frozen study snapshots and a cached what-if query
+//! engine (DESIGN.md §9).
+//!
+//! The batch pipeline answers one question per multi-second run; the
+//! ROADMAP's north star is many cheap questions against prebuilt state.
+//! This crate splits the two concerns:
+//!
+//! * [`snapshot`] — the versioned, checksummed container
+//!   (`intertubes-snapshot/v1`) that freezes a built study: physical map,
+//!   risk matrix, Hamming heat map, traceroute overlay, and the
+//!   precomputed [`index::PathIndex`];
+//! * [`engine`] — a pure query engine answering typed [`query::Query`]
+//!   requests (per-provider risk, similarity, pair latency, top-shared
+//!   rankings, conduit-cut what-ifs) from the snapshot alone;
+//! * [`cache`] — a sharded LRU over canonical query keys;
+//! * [`scheduler`] — bounded-queue wave scheduling with admission
+//!   control, deadline accounting, and obs metrics.
+//!
+//! The whole stack extends the workspace determinism contract: for a
+//! fixed snapshot and workload, the response vector is **byte-identical
+//! at any thread count and with the cache enabled or disabled** —
+//! `tests/serve.rs` and `scripts/serve_gate.sh` enforce it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod index;
+pub mod query;
+pub mod scheduler;
+pub mod snapshot;
+pub mod workload;
+
+pub use cache::{CacheConfig, ResultCache};
+pub use engine::QueryEngine;
+pub use index::{PairPaths, PathIndex, PathSummary};
+pub use query::{canonical_key, key_hash, normalize, Query, Response};
+pub use scheduler::{run_batch, ServeConfig, ServeStats};
+pub use snapshot::{fnv1a64, SnapshotError, StudySnapshot, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA};
+pub use workload::{mixed_workload, splitmix64};

@@ -1,0 +1,269 @@
+//! Typed queries and responses (DESIGN.md §9.3).
+//!
+//! Every request the serving layer understands is a [`Query`] variant and
+//! every answer a [`Response`] variant; both round-trip through `serde`,
+//! so the CLI, the cache, and the gates all speak the same canonical JSON.
+//!
+//! The cache key of a query is [`canonical_key`]: the compact JSON of the
+//! *normalized* query (cut sets sorted and deduplicated, latency endpoints
+//! ordered), so semantically identical requests share one cache slot.
+//! [`key_hash`] (FNV-1a 64) picks the cache shard.
+
+use intertubes_mitigation::CutReport;
+use serde::{Deserialize, Serialize};
+
+use crate::snapshot::fnv1a64;
+
+/// A request answerable purely from a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Per-provider shared-risk profile (§4.1/§4.2).
+    IspRisk {
+        /// Provider name.
+        isp: String,
+    },
+    /// Hamming-similarity neighbors of one provider (§4.2, Fig. 8).
+    Similarity {
+        /// Provider name.
+        isp: String,
+    },
+    /// §5.3 delay comparison for one conduit-joined city pair.
+    Latency {
+        /// Endpoint label.
+        a: String,
+        /// Endpoint label.
+        b: String,
+    },
+    /// The k most heavily shared conduits (§4.2 ranking).
+    TopShared {
+        /// How many conduits to rank.
+        k: usize,
+    },
+    /// Conduit-cut what-if: §4 metrics before/after plus per-pair latency
+    /// deltas (§5 via `mitigation::whatif`).
+    CutImpact {
+        /// Map conduit ids to sever.
+        conduits: Vec<u32>,
+    },
+}
+
+/// Normalizes a query to its canonical form: the form whose serialization
+/// is the cache key. Semantically identical queries normalize identically.
+pub fn normalize(q: &Query) -> Query {
+    match q {
+        Query::Latency { a, b } if a > b => Query::Latency {
+            a: b.clone(),
+            b: a.clone(),
+        },
+        Query::CutImpact { conduits } => {
+            let mut cs = conduits.clone();
+            cs.sort_unstable();
+            cs.dedup();
+            Query::CutImpact { conduits: cs }
+        }
+        other => other.clone(),
+    }
+}
+
+/// The canonical cache key: compact JSON of the normalized query.
+pub fn canonical_key(q: &Query) -> String {
+    // A query is a plain data enum; its serialization cannot fail.
+    serde_json::to_string(&normalize(q)).unwrap_or_default()
+}
+
+/// Shard selector over canonical keys.
+pub fn key_hash(key: &str) -> u64 {
+    fnv1a64(key.as_bytes())
+}
+
+/// One provider's §4 risk profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IspRiskView {
+    /// Provider name.
+    pub isp: String,
+    /// Conduits the provider is a tenant of.
+    pub conduits: usize,
+    /// Mean share count over the provider's conduits (its row of the §4.2
+    /// per-provider average-risk ranking).
+    pub avg_shared: f64,
+    /// Highest share count on any of its conduits.
+    pub max_shared: u16,
+    /// Its conduits shared by ≥ 4 providers.
+    pub ge4_conduits: usize,
+    /// Conduits the traceroute overlay observed carrying its traffic
+    /// (§4.3; 0 when the provider was never observed).
+    pub observed_conduits: usize,
+}
+
+/// One similarity neighbor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeighborView {
+    /// Neighbor provider name.
+    pub isp: String,
+    /// Hamming distance between the two risk-profile rows.
+    pub distance: u32,
+}
+
+/// A provider's similarity standing (Fig. 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityView {
+    /// Provider name.
+    pub isp: String,
+    /// Mean distance to every other provider.
+    pub mean_distance: f64,
+    /// The five nearest providers, by (distance, name).
+    pub nearest: Vec<NeighborView>,
+}
+
+/// §5.3 delay comparison for one pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyView {
+    /// Endpoint label (lexicographically smaller).
+    pub a: String,
+    /// Endpoint label.
+    pub b: String,
+    /// Best existing-route delay, µs.
+    pub best_us: f64,
+    /// Mean delay over routes within the detour cap, µs.
+    pub avg_us: f64,
+    /// Best right-of-way delay, µs.
+    pub row_us: f64,
+    /// Line-of-sight lower bound, µs.
+    pub los_us: f64,
+    /// Routes stored for the pair.
+    pub k_paths: usize,
+}
+
+/// One row of the shared-conduit ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedConduitView {
+    /// Map conduit id.
+    pub conduit: u32,
+    /// Endpoint label.
+    pub a: String,
+    /// Endpoint label.
+    pub b: String,
+    /// Providers sharing the conduit.
+    pub shared: u16,
+}
+
+/// The §4.2 heaviest-conduit ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopSharedView {
+    /// Heaviest conduits, most shared first (ties by id).
+    pub ranking: Vec<SharedConduitView>,
+}
+
+/// Latency change for one pair whose best route was severed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairDeltaView {
+    /// Endpoint label.
+    pub a: String,
+    /// Endpoint label.
+    pub b: String,
+    /// Best delay before the cut, µs.
+    pub before_us: f64,
+    /// Best delay over surviving precomputed routes, µs; `None` when no
+    /// stored route survives the cut.
+    pub after_us: Option<f64>,
+    /// `after - before`, µs (absent with `after_us`).
+    pub delta_us: Option<f64>,
+}
+
+/// Full conduit-cut what-if answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutImpactView {
+    /// §4 metrics before/after, affected providers, tenancies lost.
+    pub report: CutReport,
+    /// Pairs whose best route traversed a severed conduit, in pair order.
+    pub pair_deltas: Vec<PairDeltaView>,
+}
+
+/// An answer. `NotFound` and `Rejected` are ordinary responses — the
+/// engine never panics and the scheduler never drops a query silently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Query::IspRisk`].
+    IspRisk(IspRiskView),
+    /// Answer to [`Query::Similarity`].
+    Similarity(SimilarityView),
+    /// Answer to [`Query::Latency`].
+    Latency(LatencyView),
+    /// Answer to [`Query::TopShared`].
+    TopShared(TopSharedView),
+    /// Answer to [`Query::CutImpact`].
+    CutImpact(CutImpactView),
+    /// The named entity does not exist in the snapshot.
+    NotFound {
+        /// What was looked up.
+        what: String,
+    },
+    /// Admission control turned the query away (backpressure).
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl Response {
+    /// The canonical serialized form — what the scheduler returns, the
+    /// cache stores, and the gates byte-compare.
+    pub fn to_canonical_json(&self) -> String {
+        // A response is a plain data enum; serialization cannot fail.
+        serde_json::to_string(self).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_key_normalizes_equivalent_queries() {
+        let k1 = canonical_key(&Query::Latency {
+            a: "B, XX".into(),
+            b: "A, XX".into(),
+        });
+        let k2 = canonical_key(&Query::Latency {
+            a: "A, XX".into(),
+            b: "B, XX".into(),
+        });
+        assert_eq!(k1, k2);
+        let c1 = canonical_key(&Query::CutImpact {
+            conduits: vec![7, 3, 7, 1],
+        });
+        let c2 = canonical_key(&Query::CutImpact {
+            conduits: vec![1, 3, 7],
+        });
+        assert_eq!(c1, c2);
+        // Different queries get different keys.
+        assert_ne!(
+            canonical_key(&Query::TopShared { k: 4 }),
+            canonical_key(&Query::TopShared { k: 5 })
+        );
+    }
+
+    #[test]
+    fn queries_and_responses_round_trip() {
+        let q = Query::CutImpact {
+            conduits: vec![3, 1],
+        };
+        let text = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&text).unwrap();
+        assert_eq!(q, back);
+
+        let r = Response::NotFound {
+            what: "provider \"Nowhere\"".into(),
+        };
+        let text = r.to_canonical_json();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn key_hash_spreads_keys() {
+        let h1 = key_hash(&canonical_key(&Query::TopShared { k: 4 }));
+        let h2 = key_hash(&canonical_key(&Query::TopShared { k: 5 }));
+        assert_ne!(h1, h2);
+    }
+}

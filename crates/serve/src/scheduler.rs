@@ -1,0 +1,234 @@
+//! The batch scheduler: bounded queue, admission control, deadline
+//! accounting (DESIGN.md §9.5).
+//!
+//! A workload is served in FIFO **waves** of at most `queue_capacity`
+//! queries — the bounded queue. Admission control caps the total number
+//! of admitted queries at `admit_max`; everything beyond that position
+//! receives a [`Response::Rejected`] instead of being dropped (the
+//! backpressure signal). Both decisions are functions of queue *position*
+//! only, never of timing, so the response vector is deterministic.
+//!
+//! Within a wave the schedule is decide–compute–assemble:
+//!
+//! 1. **decide** (serial): compute each query's canonical key, consult the
+//!    cache, and deduplicate identical keys within the wave;
+//! 2. **compute** (parallel): answer the unique missing queries via
+//!    `par_map`, which preserves input order;
+//! 3. **assemble** (serial): fill the response vector in queue order and
+//!    populate the cache.
+//!
+//! Because the engine is pure and the cache is only read/written in the
+//! serial phases, responses are byte-identical at any thread count and
+//! with the cache on or off. Wall-clock measurements (per-query latency,
+//! deadline overruns) feed the stats and obs metrics only — they never
+//! influence a response.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use intertubes_parallel::par_map;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::engine::QueryEngine;
+use crate::query::{canonical_key, Query, Response};
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Wave size — the bounded queue's capacity (≥ 1).
+    pub queue_capacity: usize,
+    /// Admission limit: queries past this position are rejected.
+    pub admit_max: usize,
+    /// Per-query latency deadline in µs (0 = no deadline); overruns are
+    /// counted, never dropped.
+    pub deadline_us: u64,
+    /// Result-cache shape.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            admit_max: usize::MAX,
+            deadline_us: 0,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// What one batch run measured. Latency fields are wall-clock and vary
+/// run to run; everything else is deterministic for a given workload and
+/// config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Queries submitted.
+    pub queries: usize,
+    /// Queries admitted past admission control.
+    pub admitted: usize,
+    /// Queries rejected (backpressure).
+    pub rejected: usize,
+    /// Admitted queries answered from the cache.
+    pub cache_hits: usize,
+    /// Admitted queries that missed the cache.
+    pub cache_misses: usize,
+    /// `hits / (hits + misses)`, 0 when nothing was admitted.
+    pub hit_rate: f64,
+    /// Median per-query service latency, µs.
+    pub p50_us: u64,
+    /// 99th-percentile per-query service latency, µs.
+    pub p99_us: u64,
+    /// Deepest wave actually queued.
+    pub max_queue_depth: usize,
+    /// Waves processed.
+    pub waves: usize,
+    /// Admitted queries whose service latency exceeded the deadline.
+    pub deadline_overruns: usize,
+    /// Whole-batch wall time, ms.
+    pub wall_ms: f64,
+}
+
+/// How one admitted wave slot resolves.
+enum Slot {
+    /// Cache hit: the stored bytes, plus the lookup latency in µs.
+    Hit(String, u64),
+    /// Computed: index into the wave's unique-compute list.
+    Compute(usize),
+}
+
+/// Serves `queries` against `engine`, returning one canonical-JSON
+/// response per query (in input order) and the batch stats.
+///
+/// The cache is caller-owned so it can persist across batches; pass a
+/// fresh one for a cold run. The responses are byte-identical at any
+/// thread count and for any cache state, enabled or disabled.
+pub fn run_batch(
+    engine: &QueryEngine,
+    queries: &[Query],
+    cfg: &ServeConfig,
+    cache: &ResultCache,
+) -> (Vec<String>, ServeStats) {
+    let t0 = Instant::now();
+    let queue_capacity = cfg.queue_capacity.max(1);
+    let admitted = queries.len().min(cfg.admit_max);
+    let mut responses = vec![String::new(); queries.len()];
+
+    // Admission control: position-based, so rejection is deterministic.
+    let rejected_json = Response::Rejected {
+        reason: format!("admission limit {} reached", cfg.admit_max),
+    }
+    .to_canonical_json();
+    for slot in responses.iter_mut().skip(admitted) {
+        *slot = rejected_json.clone();
+    }
+    let rejected = queries.len() - admitted;
+    intertubes_obs::counter("serve.rejected", rejected as u64);
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(admitted);
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    let mut deadline_overruns = 0usize;
+    let mut max_queue_depth = 0usize;
+    let mut waves = 0usize;
+
+    let mut wave_start = 0usize;
+    while wave_start < admitted {
+        let wave_end = (wave_start + queue_capacity).min(admitted);
+        let depth = wave_end - wave_start;
+        waves += 1;
+        max_queue_depth = max_queue_depth.max(depth);
+        intertubes_obs::gauge("serve.queue_depth", depth as i64);
+
+        // Phase 1 — decide (serial): cache lookups and in-wave dedup.
+        let mut slots: Vec<Slot> = Vec::with_capacity(depth);
+        // Unique computations: (canonical key, index of first query).
+        let mut unique: Vec<(String, usize)> = Vec::new();
+        let mut pending: HashMap<String, usize> = HashMap::new();
+        for qi in wave_start..wave_end {
+            let key = canonical_key(&queries[qi]);
+            let lookup_t0 = Instant::now();
+            if let Some(hit) = cache.get(&key) {
+                cache_hits += 1;
+                slots.push(Slot::Hit(hit, lookup_t0.elapsed().as_micros() as u64));
+                continue;
+            }
+            cache_misses += 1;
+            // Dedup only matters when the cache is on; with it off, every
+            // query computes individually (the honest cache-off cost).
+            let slot = if cfg.cache.enabled {
+                *pending.entry(key.clone()).or_insert_with(|| {
+                    unique.push((key, qi));
+                    unique.len() - 1
+                })
+            } else {
+                unique.push((key, qi));
+                unique.len() - 1
+            };
+            slots.push(Slot::Compute(slot));
+        }
+
+        // Phase 2 — compute (parallel, order-preserving): answer unique
+        // misses. Workers touch neither the cache nor the responses.
+        let computed: Vec<(String, u64)> = par_map(&unique, |(_, qi)| {
+            let q_t0 = Instant::now();
+            let json = engine.answer(&queries[*qi]).to_canonical_json();
+            (json, q_t0.elapsed().as_micros() as u64)
+        });
+
+        // Phase 3 — assemble (serial): fill responses in queue order,
+        // populate the cache, account latencies.
+        for (offset, slot) in slots.into_iter().enumerate() {
+            let qi = wave_start + offset;
+            let us = match slot {
+                Slot::Hit(json, us) => {
+                    responses[qi] = json;
+                    us
+                }
+                Slot::Compute(c) => {
+                    let (json, us) = &computed[c];
+                    responses[qi] = json.clone();
+                    *us
+                }
+            };
+            latencies.push(us);
+            intertubes_obs::histogram("serve.latency_us", us);
+            if cfg.deadline_us > 0 && us > cfg.deadline_us {
+                deadline_overruns += 1;
+                intertubes_obs::counter("serve.deadline_overruns", 1);
+            }
+        }
+        for ((key, _), (json, _)) in unique.iter().zip(&computed) {
+            cache.insert(key, json);
+        }
+
+        wave_start = wave_end;
+    }
+
+    intertubes_obs::counter("serve.cache_hits", cache_hits as u64);
+    intertubes_obs::counter("serve.cache_misses", cache_misses as u64);
+
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((q * (latencies.len() - 1) as f64).round() as usize).min(latencies.len() - 1);
+        latencies[idx]
+    };
+    let stats = ServeStats {
+        queries: queries.len(),
+        admitted,
+        rejected,
+        cache_hits,
+        cache_misses,
+        hit_rate: cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64,
+        p50_us: quantile(0.5),
+        p99_us: quantile(0.99),
+        max_queue_depth,
+        waves,
+        deadline_overruns,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+    (responses, stats)
+}

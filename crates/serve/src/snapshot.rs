@@ -1,0 +1,277 @@
+//! The versioned, checksummed snapshot container (DESIGN.md §9.1).
+//!
+//! A [`StudySnapshot`] freezes everything the query engine needs — the
+//! constructed physical map, the §4 risk artifacts, the traceroute
+//! overlay, and the precomputed path index — into one artifact that loads
+//! in milliseconds, where the full pipeline rebuild takes seconds.
+//!
+//! On disk the snapshot is a binary container:
+//!
+//! ```text
+//! offset  size          content
+//! 0       8             magic b"ITSNAP\r\n"
+//! 8       8             header length H, u64 little-endian
+//! 16      H             header JSON: {"schema","payload_len","checksum"}
+//! 16+H    payload_len   payload JSON (the StudySnapshot itself, compact)
+//! ```
+//!
+//! The header names the schema (`intertubes-snapshot/v1`) and carries an
+//! FNV-1a 64-bit checksum of the payload, so truncation, bit rot, and
+//! version skew are all detected before any payload parsing happens. Both
+//! header and payload serialization are deterministic (fixed key order,
+//! round-trip-stable float formatting), which gives the serialization
+//! suite its byte-identical save→load→re-save guarantee.
+
+use std::path::Path;
+
+use intertubes_map::FiberMap;
+use intertubes_probes::Overlay;
+use intertubes_risk::{HammingHeatmap, RiskMatrix};
+use serde::{Deserialize, Serialize};
+
+use crate::index::PathIndex;
+
+/// The schema identifier written into (and required of) every container
+/// header.
+pub const SNAPSHOT_SCHEMA: &str = "intertubes-snapshot/v1";
+
+/// The 8-byte container magic. The embedded `\r\n` catches newline-mangling
+/// transports, like PNG's signature does.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ITSNAP\r\n";
+
+/// FNV-1a 64-bit hash — the container checksum and the cache's shard
+/// selector. Stable across platforms and dependency-free.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything that can go wrong loading or saving a snapshot. Each variant
+/// names the layer that failed, mirroring the per-crate error enums of the
+/// workspace taxonomy; `intertubes::IntertubesError::Snapshot` wraps this
+/// for the CLI's data-error exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem read/write failure.
+    Io(String),
+    /// The file ends before the declared structure does.
+    Truncated {
+        /// Bytes the structure requires.
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The first 8 bytes are not the snapshot magic.
+    BadMagic,
+    /// The header is not the expected JSON object.
+    BadHeader(String),
+    /// The header's schema does not match [`SNAPSHOT_SCHEMA`].
+    WrongSchema {
+        /// The schema string found in the header.
+        found: String,
+    },
+    /// The payload checksum does not match the header's.
+    ChecksumMismatch {
+        /// Checksum the header declares (hex).
+        expected: String,
+        /// Checksum of the payload as read (hex).
+        found: String,
+    },
+    /// The payload passed the checksum but failed to parse or serialize.
+    Payload(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::Truncated { needed, have } => {
+                write!(f, "snapshot truncated: need {needed} bytes, have {have}")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadHeader(e) => write!(f, "snapshot header malformed: {e}"),
+            SnapshotError::WrongSchema { found } => write!(
+                f,
+                "snapshot schema {found:?} is not supported (expected {SNAPSHOT_SCHEMA:?})"
+            ),
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot payload corrupt: checksum {found} != declared {expected}"
+            ),
+            SnapshotError::Payload(e) => write!(f, "snapshot payload malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A frozen study: everything the serving layer answers queries from.
+///
+/// The configuration rides along as an opaque JSON value (not a typed
+/// `StudyConfig` — that would invert the crate dependency), so `query
+/// config` can echo the provenance of a snapshot without this crate
+/// knowing the config's shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudySnapshot {
+    /// The study configuration that produced this snapshot, as JSON.
+    pub config: serde_json::Value,
+    /// The constructed physical map (§2–3).
+    pub map: FiberMap,
+    /// The tracked provider roster, in roster order.
+    pub isps: Vec<String>,
+    /// The §4.1 risk matrix over `map` × `isps`.
+    pub risk: RiskMatrix,
+    /// The §4.2 Hamming similarity heat map.
+    pub hamming: HammingHeatmap,
+    /// The §4.3 traceroute overlay.
+    pub overlay: Overlay,
+    /// Precomputed k-shortest-path index (§5.3 latency queries and cut
+    /// what-ifs).
+    pub paths: PathIndex,
+}
+
+impl StudySnapshot {
+    /// Serializes to the container format. Deterministic: the same
+    /// snapshot always yields the same bytes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        let payload = serde_json::to_string(self).map_err(|e| SnapshotError::Payload(e.to_string()))?;
+        let checksum = fnv1a64(payload.as_bytes());
+        // The header is assembled by hand so its key order is fixed by
+        // this line, not by a map implementation.
+        let header = format!(
+            "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"payload_len\":{},\"checksum\":\"{checksum:016x}\"}}",
+            payload.len()
+        );
+        let mut out = Vec::with_capacity(16 + header.len() + payload.len());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&(header.len() as u64).to_le_bytes());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(payload.as_bytes());
+        Ok(out)
+    }
+
+    /// Parses a container, validating magic, header, schema, and checksum
+    /// before touching the payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StudySnapshot, SnapshotError> {
+        if bytes.len() < 16 {
+            return Err(SnapshotError::Truncated {
+                needed: 16,
+                have: bytes.len(),
+            });
+        }
+        if &bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut len8 = [0u8; 8];
+        len8.copy_from_slice(&bytes[8..16]);
+        let header_len = u64::from_le_bytes(len8) as usize;
+        let header_end = 16usize.saturating_add(header_len);
+        if bytes.len() < header_end {
+            return Err(SnapshotError::Truncated {
+                needed: header_end,
+                have: bytes.len(),
+            });
+        }
+        let header_text = std::str::from_utf8(&bytes[16..header_end])
+            .map_err(|e| SnapshotError::BadHeader(e.to_string()))?;
+        let header: serde_json::Value = serde_json::from_str(header_text)
+            .map_err(|e| SnapshotError::BadHeader(e.to_string()))?;
+        let schema = header
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| SnapshotError::BadHeader("missing \"schema\"".into()))?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(SnapshotError::WrongSchema {
+                found: schema.to_string(),
+            });
+        }
+        let payload_len = header
+            .get("payload_len")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| SnapshotError::BadHeader("missing \"payload_len\"".into()))?
+            as usize;
+        let expected = header
+            .get("checksum")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| SnapshotError::BadHeader("missing \"checksum\"".into()))?;
+        let payload_end = header_end.saturating_add(payload_len);
+        if bytes.len() < payload_end {
+            return Err(SnapshotError::Truncated {
+                needed: payload_end,
+                have: bytes.len(),
+            });
+        }
+        let payload = &bytes[header_end..payload_end];
+        let found = format!("{:016x}", fnv1a64(payload));
+        if found != expected {
+            return Err(SnapshotError::ChecksumMismatch {
+                expected: expected.to_string(),
+                found,
+            });
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| SnapshotError::Payload(e.to_string()))?;
+        serde_json::from_str(text).map_err(|e| SnapshotError::Payload(e.to_string()))
+    }
+
+    /// Writes the container to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path, bytes).map_err(|e| SnapshotError::Io(e.to_string()))
+    }
+
+    /// Reads a container from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<StudySnapshot, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        StudySnapshot::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn short_inputs_are_truncated_not_panics() {
+        for n in 0..16 {
+            let bytes = vec![0u8; n];
+            assert!(matches!(
+                StudySnapshot::from_bytes(&bytes),
+                Err(SnapshotError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = vec![0u8; 32];
+        bytes[..8].copy_from_slice(b"NOTSNAP!");
+        assert!(matches!(
+            StudySnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn huge_header_length_is_truncation_not_overflow() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            StudySnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! An interactive-style what-if session against the serving layer: freeze
+//! (or load) a study snapshot, find the §4.2 chokepoints, then sever the
+//! top-k most heavily shared conduits and report who is affected and what
+//! the surviving routes cost in delay (DESIGN.md §9).
+//!
+//! ```sh
+//! cargo run --release --example query_server              # freeze in-process
+//! cargo run --release --example query_server -- 3         # cut the top 3
+//! cargo run --release --example query_server -- 3 s.snap  # serve from a file
+//! ```
+//!
+//! The second form pairs with the CLI: `intertubes snapshot s.snap` once,
+//! then this example (and `intertubes serve`/`query`) answer from the
+//! frozen artifact in milliseconds instead of rebuilding the study.
+
+use intertubes::serve::{Query, QueryEngine, Response, StudySnapshot};
+use intertubes::Study;
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let snap = match std::env::args().nth(2) {
+        Some(path) => match StudySnapshot::load(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot load snapshot {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!("(no snapshot given — freezing the reference study in-process)");
+            Study::reference().snapshot(Some(5_000))
+        }
+    };
+    let engine = QueryEngine::new(snap);
+
+    // Step 1: the §4.2 ranking — which trenches carry the most providers?
+    println!("== The {k} most heavily shared conduits (§4.2) ==\n");
+    let ranking = match engine.answer(&Query::TopShared { k }) {
+        Response::TopShared(view) => view.ranking,
+        other => {
+            eprintln!("unexpected answer: {}", other.to_canonical_json());
+            std::process::exit(1);
+        }
+    };
+    for r in &ranking {
+        println!(
+            "  conduit {:>3}  {} — {}  ({} co-tenants)",
+            r.conduit, r.a, r.b, r.shared
+        );
+    }
+
+    // Step 2: the what-if — sever all of them at once.
+    let cut: Vec<u32> = ranking.iter().map(|r| r.conduit).collect();
+    println!("\n== What if all {k} were cut simultaneously? ==\n");
+    let impact = match engine.answer(&Query::CutImpact { conduits: cut }) {
+        Response::CutImpact(view) => view,
+        other => {
+            eprintln!("unexpected answer: {}", other.to_canonical_json());
+            std::process::exit(1);
+        }
+    };
+    let rep = &impact.report;
+    println!(
+        "providers losing at least one conduit: {} — {}",
+        rep.affected_isps.len(),
+        rep.affected_isps.join(", ")
+    );
+    println!("tenancies (links) lost: {}", rep.links_lost);
+    println!(
+        "fraction of conduits shared by ≥4 providers: {:.1} % → {:.1} %",
+        rep.ge4_before * 100.0,
+        rep.ge4_after * 100.0
+    );
+    println!(
+        "worst single-conduit sharing: {} → {}",
+        rep.max_sharing_before, rep.max_sharing_after
+    );
+    println!(
+        "mean per-provider average risk: {:.2} → {:.2}",
+        rep.mean_avg_risk_before, rep.mean_avg_risk_after
+    );
+
+    // Step 3: the §5.3 reading — what do the cuts cost in delay?
+    println!("\n== City pairs whose best route crossed a severed conduit ==\n");
+    if impact.pair_deltas.is_empty() {
+        println!("  (none — no precomputed best route used those conduits)");
+    }
+    for d in impact.pair_deltas.iter().take(12) {
+        match (d.after_us, d.delta_us) {
+            (Some(after), Some(delta)) => println!(
+                "  {} — {}: {:.0} µs → {:.0} µs (+{:.0} µs)",
+                d.a, d.b, d.before_us, after, delta
+            ),
+            _ => println!(
+                "  {} — {}: {:.0} µs → no stored route survives",
+                d.a, d.b, d.before_us
+            ),
+        }
+    }
+    if impact.pair_deltas.len() > 12 {
+        println!("  … and {} more pairs", impact.pair_deltas.len() - 12);
+    }
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Determinism + throughput gate for the serving layer (DESIGN.md §9).
+#
+# Freezes the reference study into a snapshot, cold-loads it, and replays
+# the fixed 10 k mixed-query workload at 1, 2, and 8 threads and with the
+# result cache disabled. Every arm must produce byte-identical responses —
+# the serving analogue of the PR-3 determinism battery. Then runs the
+# `bench_serve` harness, which re-checks the digests internally and
+# records throughput, latency quantiles, hit rate, and the load-vs-rebuild
+# ratio to BENCH_serve.json; the gate fails if any required field is
+# missing from the record.
+set -eu
+
+WORK=serve-gate
+REPLAY=10000
+
+cd "$(dirname "$0")/.."
+mkdir -p "$WORK"
+
+cargo build --release -q --bin intertubes
+cargo build --release -q -p intertubes-bench --bin bench_serve
+
+echo "serve_gate: freezing the reference study..."
+./target/release/intertubes snapshot "$WORK/study.snap"
+
+echo "serve_gate: replaying $REPLAY mixed queries..."
+./target/release/intertubes --threads 1 serve --snapshot "$WORK/study.snap" \
+    --replay "$REPLAY" --out "$WORK/resp_t1.jsonl" --stats "$WORK/stats.json"
+./target/release/intertubes --threads 2 serve --snapshot "$WORK/study.snap" \
+    --replay "$REPLAY" --out "$WORK/resp_t2.jsonl" --stats /dev/null
+./target/release/intertubes --threads 8 serve --snapshot "$WORK/study.snap" \
+    --replay "$REPLAY" --out "$WORK/resp_t8.jsonl" --stats /dev/null
+./target/release/intertubes --threads 2 serve --snapshot "$WORK/study.snap" \
+    --replay "$REPLAY" --no-cache --out "$WORK/resp_nocache.jsonl" --stats /dev/null
+
+for arm in resp_t2 resp_t8 resp_nocache; do
+    if ! cmp -s "$WORK/resp_t1.jsonl" "$WORK/$arm.jsonl"; then
+        echo "serve_gate: FAIL — $arm.jsonl differs from the single-thread baseline." >&2
+        echo "Serving responses must be byte-identical at any thread count" >&2
+        echo "and with the cache on or off (DESIGN.md §9.5)." >&2
+        exit 1
+    fi
+done
+echo "serve_gate: responses byte-identical across 1/2/8 threads and cache off"
+
+./target/release/bench_serve > BENCH_serve.json
+echo "serve_gate: wrote BENCH_serve.json"
+
+# bench_serve exits nonzero on a digest mismatch, so reaching this point
+# means its four arms agreed too; still verify the record is complete.
+for field in rebuild_ms load_ms p50_us p99_us hit_rate max_queue_depth deterministic; do
+    if ! grep -q "\"$field\"" BENCH_serve.json; then
+        echo "serve_gate: FAIL — BENCH_serve.json is missing \"$field\"." >&2
+        exit 1
+    fi
+done
+if grep -q '"deterministic": false' BENCH_serve.json; then
+    echo "serve_gate: FAIL — bench_serve recorded a nondeterministic run." >&2
+    exit 1
+fi
+echo "serve_gate: OK"

@@ -17,7 +17,15 @@
 //! intertubes --faults plan.json summary # inject faults, degrade, report
 //! intertubes --trace-json t.jsonl \
 //!            --metrics-out m.json export out/   # structured trace + metrics
+//! intertubes snapshot study.snap       # freeze the study (DESIGN.md §9)
+//! intertubes serve --snapshot study.snap --replay 10000 \
+//!            --out responses.jsonl     # replay a mixed workload
+//! intertubes query --snapshot study.snap '{"TopShared":{"k":8}}'
 //! ```
+//!
+//! `serve` and `query` never build a study: they load the frozen snapshot
+//! (milliseconds) and answer from it, which is the whole point of the
+//! serving split — `snapshot` pays the pipeline cost once.
 //!
 //! Every run records through `intertubes-obs`: stage spans, counters, and
 //! structured events. The stderr log is the session echo (filtered by
@@ -67,7 +75,21 @@ fn usage() -> ! {
            resilience <out>       min-cut / bridges / articulation JSON\n\
            annotated <out>        traffic/delay/risk-annotated GeoJSON (10k probes)\n\
            whatif <out>           section-4 metrics before/after the eq.-2 plan\n\
-           export <dir>           write all of the above into a directory"
+           export <dir>           write all of the above into a directory\n\
+           snapshot <out>         freeze the study into a serving snapshot\n\
+           serve --snapshot <path> [serve flags]\n\
+                                  replay a deterministic mixed workload\n\
+           query --snapshot <path> <query-json>\n\
+                                  answer one query from a snapshot\n\
+         serve flags:\n\
+           --replay N             workload size (default 10000)\n\
+           --workload-seed N      workload generator seed (default 2026)\n\
+           --queue N              bounded queue capacity (default 256)\n\
+           --admit-max N          admission limit; excess queries are rejected\n\
+           --deadline-us N        per-query latency deadline (0 = none)\n\
+           --no-cache             disable the result cache\n\
+           --out <path>           responses as JSON Lines (default stdout)\n\
+           --stats <path>         batch stats JSON (default stdout)"
     );
     std::process::exit(2);
 }
@@ -83,6 +105,8 @@ struct Invocation {
     command: String,
     /// `<out>` / `<dir>` operand for the commands that take one.
     out: Option<String>,
+    /// Remaining operands for `serve` / `query`, parsed per command.
+    rest: Vec<String>,
 }
 
 fn parse_args() -> Invocation {
@@ -156,8 +180,16 @@ fn parse_args() -> Invocation {
     let out = match command.as_str() {
         "summary" => None,
         "geojson" | "risk" | "sharing-csv" | "latency" | "robustness" | "resilience"
-        | "annotated" | "whatif" | "export" => {
+        | "annotated" | "whatif" | "export" | "snapshot" => {
             Some(args.get(1).cloned().unwrap_or_else(|| usage()))
+        }
+        "serve" | "query" => {
+            // Shape check only (exit 2 now); flag values are validated by
+            // the command handler (exit 3 — they concern data on disk).
+            if !args.iter().any(|a| a == "--snapshot") {
+                usage()
+            }
+            None
         }
         _ => usage(),
     };
@@ -168,7 +200,90 @@ fn parse_args() -> Invocation {
         metrics_out,
         command,
         out,
+        rest: args.into_iter().skip(1).collect(),
     }
+}
+
+/// `serve` command flags (everything after the command word).
+struct ServeOpts {
+    snapshot: String,
+    replay: usize,
+    workload_seed: u64,
+    queue: usize,
+    admit_max: usize,
+    deadline_us: u64,
+    cache: bool,
+    out: Option<String>,
+    stats: Option<String>,
+}
+
+fn parse_serve_opts(rest: &[String]) -> ServeOpts {
+    let mut opts = ServeOpts {
+        snapshot: String::new(),
+        replay: 10_000,
+        workload_seed: 2026,
+        queue: 256,
+        admit_max: usize::MAX,
+        deadline_us: 0,
+        cache: true,
+        out: None,
+        stats: None,
+    };
+    let mut i = 0;
+    let value = |rest: &[String], i: usize| -> String {
+        rest.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
+    let number = |rest: &[String], i: usize, flag: &str| -> u64 {
+        value(rest, i).parse().unwrap_or_else(|_| {
+            eprintln!("{flag} takes a non-negative integer");
+            std::process::exit(2);
+        })
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--snapshot" => {
+                opts.snapshot = value(rest, i);
+                i += 2;
+            }
+            "--replay" => {
+                opts.replay = number(rest, i, "--replay") as usize;
+                i += 2;
+            }
+            "--workload-seed" => {
+                opts.workload_seed = number(rest, i, "--workload-seed");
+                i += 2;
+            }
+            "--queue" => {
+                opts.queue = (number(rest, i, "--queue") as usize).max(1);
+                i += 2;
+            }
+            "--admit-max" => {
+                opts.admit_max = number(rest, i, "--admit-max") as usize;
+                i += 2;
+            }
+            "--deadline-us" => {
+                opts.deadline_us = number(rest, i, "--deadline-us");
+                i += 2;
+            }
+            "--no-cache" => {
+                opts.cache = false;
+                i += 1;
+            }
+            "--out" => {
+                opts.out = Some(value(rest, i));
+                i += 2;
+            }
+            "--stats" => {
+                opts.stats = Some(value(rest, i));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if opts.snapshot.is_empty() {
+        usage();
+    }
+    opts
 }
 
 fn main() {
@@ -228,6 +343,14 @@ fn run(
     fault_plan_doc: &mut Option<serde_json::Value>,
     topology: &mut Option<TopologyCounts>,
 ) -> CliResult<()> {
+    // The serving commands answer from a frozen snapshot — no world, no
+    // corpus, no pipeline.
+    match inv.command.as_str() {
+        "serve" => return run_serve(inv, topology),
+        "query" => return run_query(inv, topology),
+        _ => {}
+    }
+
     let cfg = inv.cfg;
     obs::event(
         Level::Info,
@@ -349,9 +472,119 @@ fn run(
                 &[],
             );
         }
+        "snapshot" => {
+            let out = operand(out)?;
+            // Same probe sizing as `annotated`, so the embedded overlay
+            // matches the exported artifact.
+            let snap = study.snapshot(Some(10_000));
+            snap.save(out).map_err(|e| e.to_string())?;
+            wrote(out);
+        }
         // parse_args only lets known commands through.
         other => return Err(format!("unknown command {other}")),
     }
+    Ok(())
+}
+
+/// Loads the snapshot named by `--snapshot` and fills the manifest
+/// topology from its map (the serving commands have no built study).
+fn load_snapshot(
+    path: &str,
+    topology: &mut Option<TopologyCounts>,
+) -> CliResult<intertubes::serve::StudySnapshot> {
+    let mut span = obs::stage("serve.load");
+    let snap = intertubes::serve::StudySnapshot::load(path).map_err(|e| e.to_string())?;
+    span.items("conduits", snap.map.conduits.len());
+    span.items("pairs", snap.paths.pairs.len());
+    let s = intertubes::map::summarize(&snap.map);
+    *topology = Some(TopologyCounts {
+        nodes: s.nodes,
+        links: s.links,
+        conduits: s.conduits,
+        validated_conduits: s.validated_conduits,
+    });
+    Ok(snap)
+}
+
+fn run_serve(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResult<()> {
+    let opts = parse_serve_opts(&inv.rest);
+    let snap = load_snapshot(&opts.snapshot, topology)?;
+    let engine = intertubes::serve::QueryEngine::new(snap);
+    let workload = intertubes::serve::mixed_workload(
+        engine.snapshot(),
+        opts.replay,
+        opts.workload_seed,
+    );
+    let cfg = intertubes::serve::ServeConfig {
+        queue_capacity: opts.queue,
+        admit_max: opts.admit_max,
+        deadline_us: opts.deadline_us,
+        cache: intertubes::serve::CacheConfig {
+            enabled: opts.cache,
+            ..intertubes::serve::CacheConfig::default()
+        },
+    };
+    let cache = intertubes::serve::ResultCache::new(cfg.cache);
+    let (responses, stats) = {
+        let mut span = obs::stage("serve.replay");
+        span.items("queries", workload.len());
+        intertubes::serve::run_batch(&engine, &workload, &cfg, &cache)
+    };
+    let jsonl: String = responses
+        .iter()
+        .map(|r| format!("{r}\n"))
+        .collect();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+            wrote(path);
+        }
+        None => print!("{jsonl}"),
+    }
+    let stats_text = serde_json::to_string_pretty(
+        &serde_json::to_value(&stats).map_err(|e| format!("cannot serialize stats: {e:?}"))?,
+    )
+    .map_err(|e| format!("cannot serialize stats: {e:?}"))?;
+    match &opts.stats {
+        Some(path) => {
+            std::fs::write(path, &stats_text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            wrote(path);
+        }
+        // With responses on stdout, stats go to the structured log so the
+        // response stream stays machine-parseable.
+        None if opts.out.is_none() => {
+            obs::event(Level::Info, "serve", &format!("stats: {stats_text}"), &[]);
+        }
+        None => println!("{stats_text}"),
+    }
+    Ok(())
+}
+
+fn run_query(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResult<()> {
+    let mut snapshot_path: Option<&String> = None;
+    let mut query_text: Option<&String> = None;
+    let mut i = 0;
+    while i < inv.rest.len() {
+        match inv.rest[i].as_str() {
+            "--snapshot" => {
+                snapshot_path = inv.rest.get(i + 1);
+                i += 2;
+            }
+            _ => {
+                query_text = Some(&inv.rest[i]);
+                i += 1;
+            }
+        }
+    }
+    let (Some(path), Some(text)) = (snapshot_path, query_text) else {
+        usage()
+    };
+    let query: intertubes::serve::Query = serde_json::from_str(text)
+        .map_err(|e| format!("invalid query {text:?}: {e:?}"))?;
+    let snap = load_snapshot(path, topology)?;
+    let engine = intertubes::serve::QueryEngine::new(snap);
+    println!("{}", engine.answer(&query).to_canonical_json());
     Ok(())
 }
 

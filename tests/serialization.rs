@@ -1,7 +1,17 @@
 //! Serde round-trips for the public model types: a downstream user must be
 //! able to persist and reload maps, reports and configs without loss.
+//!
+//! The snapshot-container tests additionally pin the serving layer's
+//! on-disk contract (DESIGN.md §9.1): save→load→re-save is byte-identical,
+//! and every corruption mode — truncation, bad magic, mangled header,
+//! schema skew, payload bit rot — surfaces as a typed [`SnapshotError`]
+//! that maps into the PR-1 taxonomy and exits the CLI with the data-error
+//! code 3, never a panic.
+//!
+//! [`SnapshotError`]: intertubes::serve::SnapshotError
 
-use intertubes::{Study, StudyConfig};
+use intertubes::serve::{SnapshotError, StudySnapshot, SNAPSHOT_SCHEMA};
+use intertubes::{IntertubesError, Study, StudyConfig};
 
 #[test]
 fn study_config_round_trips() {
@@ -67,6 +77,120 @@ fn analysis_reports_serialize() {
     let lat2: intertubes::mitigation::LatencyReport =
         serde_json::from_value(serde_json::to_value(&lat).unwrap()).unwrap();
     assert_eq!(lat2.pairs.len(), lat.pairs.len());
+}
+
+/// A header-only container with the given schema over an empty-object
+/// payload. Enough structure to reach (exactly) the validation stage a
+/// test wants to probe.
+fn container_with_schema(schema: &str) -> Vec<u8> {
+    let payload = b"{}";
+    let checksum = intertubes::serve::fnv1a64(payload);
+    let header = format!(
+        "{{\"schema\":\"{schema}\",\"payload_len\":{},\"checksum\":\"{checksum:016x}\"}}",
+        payload.len()
+    );
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(intertubes::serve::SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&(header.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(header.as_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+#[test]
+fn snapshot_saves_loads_and_resaves_byte_identically() {
+    let s = Study::reference();
+    let snap = s.snapshot(Some(2_000));
+    let bytes = snap.to_bytes().unwrap();
+    let back = StudySnapshot::from_bytes(&bytes).unwrap();
+    // The reloaded snapshot serves the same study...
+    assert_eq!(back.isps, snap.isps);
+    assert_eq!(back.map.conduits.len(), snap.map.conduits.len());
+    assert_eq!(back.paths.pairs.len(), snap.paths.pairs.len());
+    // ...and re-saving it reproduces the container bit for bit — the
+    // determinism guarantee checksums and goldens rely on.
+    assert_eq!(back.to_bytes().unwrap(), bytes);
+}
+
+#[test]
+fn corrupted_payload_is_a_checksum_mismatch_not_a_panic() {
+    let bytes = container_with_schema(SNAPSHOT_SCHEMA);
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x20; // flip one payload bit
+    let err = StudySnapshot::from_bytes(&corrupt).unwrap_err();
+    assert!(matches!(err, SnapshotError::ChecksumMismatch { .. }), "{err}");
+}
+
+#[test]
+fn corrupted_header_is_a_bad_header_error() {
+    let mut bytes = container_with_schema(SNAPSHOT_SCHEMA);
+    bytes[17] = b'!'; // mangle the header JSON just past the opening brace
+    let err = StudySnapshot::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, SnapshotError::BadHeader(_)), "{err}");
+}
+
+#[test]
+fn wrong_schema_version_is_rejected_by_name() {
+    let bytes = container_with_schema("intertubes-snapshot/v9");
+    match StudySnapshot::from_bytes(&bytes).unwrap_err() {
+        SnapshotError::WrongSchema { found } => {
+            assert_eq!(found, "intertubes-snapshot/v9");
+        }
+        other => panic!("expected WrongSchema, got {other}"),
+    }
+}
+
+#[test]
+fn truncated_container_reports_how_much_is_missing() {
+    let bytes = container_with_schema(SNAPSHOT_SCHEMA);
+    let cut = &bytes[..bytes.len() - 1];
+    match StudySnapshot::from_bytes(cut).unwrap_err() {
+        SnapshotError::Truncated { needed, have } => {
+            assert_eq!(needed, bytes.len());
+            assert_eq!(have, bytes.len() - 1);
+        }
+        other => panic!("expected Truncated, got {other}"),
+    }
+}
+
+#[test]
+fn snapshot_errors_join_the_workspace_taxonomy() {
+    let err: IntertubesError = SnapshotError::BadMagic.into();
+    assert!(matches!(err, IntertubesError::Snapshot(_)));
+    assert!(err.to_string().starts_with("snapshot:"));
+    // The layered source chain survives the wrapping.
+    let source = std::error::Error::source(&err).expect("snapshot errors carry a source");
+    assert_eq!(source.to_string(), SnapshotError::BadMagic.to_string());
+}
+
+/// Corrupt snapshots reaching the CLI exit with the data-error code 3 and
+/// a diagnostic — never a panic (PR-1 contract).
+#[test]
+fn cli_rejects_bad_snapshots_with_exit_3() {
+    let dir = std::env::temp_dir().join("intertubes-serialization-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cases = [
+        ("notsnap.bin", b"this is not a snapshot".to_vec()),
+        ("wrong_schema.snap", container_with_schema("intertubes-snapshot/v9")),
+        ("truncated.snap", container_with_schema(SNAPSHOT_SCHEMA)[..12].to_vec()),
+    ];
+    for (name, bytes) in cases {
+        let path = dir.join(name);
+        std::fs::write(&path, &bytes).unwrap();
+        for sub in ["serve", "query"] {
+            let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_intertubes"));
+            cmd.arg(sub).arg("--snapshot").arg(&path);
+            if sub == "query" {
+                cmd.arg("{\"TopShared\":{\"k\":1}}");
+            }
+            let out = cmd.output().unwrap();
+            assert_eq!(out.status.code(), Some(3), "{sub} on {name}: wrong exit code");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(stderr.contains("snapshot"), "{sub} on {name}: stderr was {stderr:?}");
+            assert!(!stderr.contains("panicked"), "{sub} on {name} panicked: {stderr}");
+        }
+    }
 }
 
 #[test]
