@@ -358,8 +358,8 @@ fn detour_geometry(road: &TransportNetwork, u: NodeId, v: NodeId) -> Option<Poly
     let direct_len = road
         .graph
         .edges_between(u, v)
-        .first()
-        .map(|e| road.graph.edge(*e).length_km)?;
+        .next()
+        .map(|e| road.graph.edge(e).length_km)?;
     let mut best: Option<(f64, intertubes_graph::EdgeId, intertubes_graph::EdgeId)> = None;
     for (e1, w) in road.graph.neighbors(u) {
         if w == v || w == u {

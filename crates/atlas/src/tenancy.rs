@@ -156,8 +156,11 @@ pub fn grow_footprint(
         if in_component[s.index()] {
             continue;
         }
-        let tree = shortest_path_tree(&sys.graph, NodeId(s.0), cost)
-            .expect("conduit cost function is non-negative");
+        // The cost function is non-negative by construction; if that were
+        // ever violated this seed is skipped rather than panicking.
+        let Ok(tree) = shortest_path_tree(&sys.graph, NodeId(s.0), cost) else {
+            continue;
+        };
         // Nearest node already in the component.
         let target = (0..cities.len())
             .filter(|&i| in_component[i])

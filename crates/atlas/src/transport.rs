@@ -183,7 +183,11 @@ fn stretch_route(pl: &Polyline, target_km: f64) -> Polyline {
     if target_km <= current * 1.001 {
         return pl.clone();
     }
-    let dense = pl.densify(12.0).expect("positive step");
+    // densify only fails on a non-positive step; the unstretched route is
+    // the graceful fallback.
+    let Ok(dense) = pl.densify(12.0) else {
+        return pl.clone();
+    };
     let pts = dense.points();
     let n = pts.len();
     if n < 3 {

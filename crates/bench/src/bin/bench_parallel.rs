@@ -13,11 +13,28 @@
 //! the per-sub-stage wall times from the observability spans (DESIGN.md §8)
 //! are embedded in the row as `"sub_stages"` — the breakdown EXPERIMENTS.md
 //! quotes.
+//!
+//! The host is reported honestly: `"cores"` is the physical parallelism
+//! detected once via `available_parallelism`, `"threads"` is the width the
+//! parallel arms actually ran at (forced to ≥ 2 so the parallel code path
+//! is exercised even on 1-core boxes), and `"floor_eligible"` says whether
+//! the speedup floor is meaningful here — `bench_gate.sh` reads that flag
+//! instead of re-detecting the host.
+//!
+//! The `latency_paths` row also carries `"path_query_us"`: per-query
+//! wall-clock for one point-to-point shortest-path query under each search
+//! engine (legacy `MultiGraph` Dijkstra, CSR Dijkstra, bidirectional, and
+//! ALT-pruned CSR), cold (scratch allocated per query) and warm (scratch
+//! reused) — the numbers EXPERIMENTS.md's path-engine table quotes.
 
 use std::time::Instant;
 
 use intertubes::obs;
 
+use intertubes::graph::{
+    bidirectional_dijkstra, csr_dijkstra, csr_dijkstra_filtered, dijkstra, EdgeId, Landmarks,
+    NodeId, SearchState, DEFAULT_LANDMARK_COUNT,
+};
 use intertubes::map::{build_map, PipelineConfig};
 use intertubes::mitigation::latency_study;
 use intertubes::parallel::{thread_count, with_threads};
@@ -46,9 +63,115 @@ fn time_ms<R>(threads: usize, mut run: impl FnMut() -> R) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Per-query microseconds for each point-to-point search engine over a
+/// deterministic sample of conduit-joined pairs, cold (fresh scratch per
+/// query) and warm (scratch reused across queries).
+fn path_query_us(s: &intertubes::Study) -> serde_json::Value {
+    let map = &s.built.map;
+    let graph = map.graph();
+    let csr = graph.to_csr();
+    let lengths: Vec<f64> = map.conduits.iter().map(|c| c.geometry.length_km()).collect();
+    let km = |e: EdgeId| lengths[e.index()];
+    let landmarks = Landmarks::build(&csr, DEFAULT_LANDMARK_COUNT, km).ok();
+
+    // The same pair enumeration the §5.3 study uses, thinned to a fixed
+    // sample so the micro-bench stays cheap on any map size.
+    let mut pairs: Vec<(u32, u32)> = map
+        .conduits
+        .iter()
+        .map(|c| (c.a.0.min(c.b.0), c.a.0.max(c.b.0)))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let stride = pairs.len().div_ceil(256).max(1);
+    let sample: Vec<(u32, u32)> = pairs.into_iter().step_by(stride).collect();
+    let n = sample.len().max(1);
+
+    let time = |run: &mut dyn FnMut(u32, u32)| -> f64 {
+        let t0 = Instant::now();
+        for &(a, b) in &sample {
+            run(a, b);
+        }
+        round3(t0.elapsed().as_secs_f64() * 1e6 / n as f64)
+    };
+
+    let multigraph = time(&mut |a, b| {
+        std::hint::black_box(dijkstra(&graph, NodeId(a), NodeId(b), km).ok());
+    });
+    let csr_cold = time(&mut |a, b| {
+        let mut st = SearchState::new();
+        std::hint::black_box(csr_dijkstra(&csr, &mut st, NodeId(a), NodeId(b), km).ok());
+    });
+    let mut st = SearchState::new();
+    let csr_warm = time(&mut |a, b| {
+        std::hint::black_box(csr_dijkstra(&csr, &mut st, NodeId(a), NodeId(b), km).ok());
+    });
+    let bidi_cold = time(&mut |a, b| {
+        let (mut fwd, mut bwd) = (SearchState::new(), SearchState::new());
+        std::hint::black_box(
+            bidirectional_dijkstra(&csr, &mut fwd, &mut bwd, NodeId(a), NodeId(b), km).ok(),
+        );
+    });
+    let (mut fwd, mut bwd) = (SearchState::new(), SearchState::new());
+    let bidi_warm = time(&mut |a, b| {
+        std::hint::black_box(
+            bidirectional_dijkstra(&csr, &mut fwd, &mut bwd, NodeId(a), NodeId(b), km).ok(),
+        );
+    });
+    let no_nodes = vec![false; csr.node_count()];
+    let no_edges = vec![false; csr.edge_count()];
+    let alt_cold = time(&mut |a, b| {
+        let mut st = SearchState::new();
+        let (nodes, edges) = (vec![false; csr.node_count()], vec![false; csr.edge_count()]);
+        std::hint::black_box(
+            csr_dijkstra_filtered(
+                &csr,
+                &mut st,
+                NodeId(a),
+                NodeId(b),
+                km,
+                &nodes,
+                &edges,
+                landmarks.as_ref(),
+            )
+            .ok(),
+        );
+    });
+    let mut st2 = SearchState::new();
+    let alt_warm = time(&mut |a, b| {
+        std::hint::black_box(
+            csr_dijkstra_filtered(
+                &csr,
+                &mut st2,
+                NodeId(a),
+                NodeId(b),
+                km,
+                &no_nodes,
+                &no_edges,
+                landmarks.as_ref(),
+            )
+            .ok(),
+        );
+    });
+
+    serde_json::json!({
+        "sample_pairs": n,
+        "multigraph_dijkstra": multigraph,
+        "csr_dijkstra_cold": csr_cold,
+        "csr_dijkstra_warm": csr_warm,
+        "bidirectional_cold": bidi_cold,
+        "bidirectional_warm": bidi_warm,
+        "csr_alt_cold": alt_cold,
+        "csr_alt_warm": alt_warm,
+    })
+}
+
 fn main() {
-    let threads = thread_count().max(2);
+    // The host is detected exactly once, here; everything downstream
+    // (including bench_gate.sh) reads these recorded values.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = thread_count().max(2);
+    let floor_eligible = cores >= 4;
 
     let s = study();
     let published = s.world.publish_maps();
@@ -118,9 +241,21 @@ fn main() {
         );
     });
 
+    // Attach the per-query search-engine breakdown to the latency row.
+    let queries = path_query_us(&s);
+    if let Some(row) = rows
+        .iter_mut()
+        .find(|r| r.get("stage").and_then(|v| v.as_str()) == Some("latency_paths"))
+    {
+        if let Some(obj) = row.as_object_mut() {
+            obj.insert("path_query_us".into(), queries);
+        }
+    }
+
     let doc = serde_json::json!({
         "threads": threads,
         "cores": cores,
+        "floor_eligible": floor_eligible,
         "iters_per_arm": ITERS,
         "stages": rows,
     });

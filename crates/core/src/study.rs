@@ -282,9 +282,9 @@ impl Study {
     }
 
     /// Freezes this study into a serving snapshot (DESIGN.md §9): the
-    /// constructed map, the §4 risk artifacts, a traceroute overlay, and
-    /// the precomputed path index, all sealed in the checksummed
-    /// `intertubes-snapshot/v1` container.
+    /// constructed map, the §4 risk artifacts, a traceroute overlay, the
+    /// precomputed path index, and the ALT landmark tables, all sealed in
+    /// the checksummed `intertubes-snapshot/v2` container.
     ///
     /// `probes` sizes the embedded overlay campaign (`None` = the
     /// configured probe count). This is the expensive build phase the
@@ -307,11 +307,13 @@ impl Study {
             .iter()
             .map(|p| ((p.a.clone(), p.b.clone()), p.row_us))
             .collect();
+        let landmarks = intertubes_serve::build_landmarks(&self.built.map);
         let paths = intertubes_serve::PathIndex::build(
             &self.built.map,
             self.config.latency.k_paths,
             self.config.latency.detour_cap,
             &row_us_by_pair,
+            landmarks.as_ref(),
         );
         span.items("conduits", self.built.map.conduits.len());
         span.items("pairs", paths.pairs.len());
@@ -324,6 +326,7 @@ impl Study {
             hamming,
             overlay,
             paths,
+            landmarks,
         }
     }
 

@@ -2,41 +2,146 @@
 //!
 //! All-pairs analyses (the §5.3 latency study, mitigation scans) query the
 //! same read-only graph for many unrelated pairs; each query is a pure
-//! function of the graph and the pair, so the batch fans out one contiguous
-//! pair chunk per task and returns results in input order. Output is
-//! byte-identical to mapping the serial routine over the slice (DESIGN.md
-//! §7).
+//! function of the graph and the pair, so the batch fans out over worker
+//! chunks and returns results in input order. Output is byte-identical to
+//! mapping the serial routine over the slice (DESIGN.md §7, §10).
+//!
+//! The batches run on the [`CsrGraph`] hot path: pairs are grouped by
+//! source so one shortest-path tree serves every target of that source,
+//! and each worker chunk reuses a single [`SearchState`] /
+//! [`YenWorkspace`] scratch across its queries.
+//!
+//! Note on invalid costs: point queries stop as soon as their target
+//! settles, so a NaN/negative cost on an edge the search never reaches is
+//! not observed (the original full-tree engine would have reported it).
+//! Well-formed cost functions are unaffected.
 
-use crate::{dijkstra, yen_k_shortest, EdgeId, GraphError, MultiGraph, NodeId, Path};
+use std::collections::BTreeMap;
+
+use crate::{
+    csr_dijkstra, csr_shortest_path_tree, yen_k_shortest_csr, CsrGraph, EdgeId, GraphError,
+    Landmarks, MultiGraph, NodeId, Path, SearchState, YenWorkspace, DEFAULT_LANDMARK_COUNT,
+};
 
 /// Shortest path for every pair, in input order.
 ///
-/// Each element is exactly what [`dijkstra`] returns for that pair.
+/// Each element is exactly what [`dijkstra`] returns for that pair (see
+/// the module note on invalid costs). Freezes a [`CsrGraph`] and
+/// delegates to [`par_shortest_paths_csr`]; callers issuing repeated
+/// batches over one graph should freeze once and call that directly.
 pub fn par_shortest_paths<N: Sync, E: Sync>(
     g: &MultiGraph<N, E>,
     pairs: &[(NodeId, NodeId)],
     cost: impl Fn(EdgeId) -> f64 + Sync,
 ) -> Vec<Result<Option<Path>, GraphError>> {
+    par_shortest_paths_csr(&g.to_csr(), pairs, cost)
+}
+
+/// [`par_shortest_paths`] over a prebuilt [`CsrGraph`].
+///
+/// Pairs sharing a source are answered from one shortest-path tree; the
+/// tree is identical to the per-pair search, so results (and their input
+/// order) are unchanged.
+pub fn par_shortest_paths_csr(
+    csr: &CsrGraph,
+    pairs: &[(NodeId, NodeId)],
+    cost: impl Fn(EdgeId) -> f64 + Sync,
+) -> Vec<Result<Option<Path>, GraphError>> {
     intertubes_obs::counter("graph.shortest_path_queries", pairs.len() as u64);
-    intertubes_parallel::par_map(pairs, |&(s, t)| dijkstra(g, s, t, &cost))
+    let n = csr.node_count();
+    let oob = |id: NodeId| GraphError::NodeOutOfBounds { index: id.0, nodes: n };
+    // Group pair indices by source; BTreeMap keeps grouping deterministic.
+    let mut by_source: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, &(s, _)) in pairs.iter().enumerate() {
+        by_source.entry(s.0).or_default().push(i);
+    }
+    let groups: Vec<(u32, Vec<usize>)> = by_source.into_iter().collect();
+    let chunk = intertubes_parallel::chunk_len(groups.len());
+    let scattered = intertubes_parallel::par_chunks_map(&groups, chunk, |_, gs| {
+        let mut st = SearchState::new();
+        let mut out: Vec<(usize, Result<Option<Path>, GraphError>)> = Vec::new();
+        for (s, idxs) in gs {
+            let source = NodeId(*s);
+            if let [i] = idxs[..] {
+                // Lone target: early-exit point query.
+                out.push((i, csr_dijkstra(csr, &mut st, source, pairs[i].1, &cost)));
+                continue;
+            }
+            // Shared source: one full tree answers every target. Per-pair
+            // error precedence matches `dijkstra`: target bounds first,
+            // then source bounds / search errors.
+            let tree = if source.index() >= n {
+                Err(oob(source))
+            } else {
+                csr_shortest_path_tree(csr, &mut st, source, &cost)
+            };
+            for &i in idxs {
+                let t = pairs[i].1;
+                let r = if t.index() >= n {
+                    Err(oob(t))
+                } else {
+                    match &tree {
+                        Ok(()) => Ok(st.path_to(t)),
+                        Err(e) => Err(e.clone()),
+                    }
+                };
+                out.push((i, r));
+            }
+        }
+        out
+    });
+    let mut results: Vec<Result<Option<Path>, GraphError>> = vec![Ok(None); pairs.len()];
+    for chunk in scattered {
+        for (i, r) in chunk {
+            results[i] = r;
+        }
+    }
+    results
 }
 
 /// Yen's k cheapest loopless paths for every pair, in input order.
 ///
-/// Each element is exactly what [`yen_k_shortest`] returns for that pair.
+/// Each element is exactly what [`yen_k_shortest`](crate::yen_k_shortest)
+/// returns for that pair. Freezes a [`CsrGraph`], builds an ALT
+/// [`Landmarks`] table to prune the spur searches, and delegates to
+/// [`par_yen_k_shortest_csr`].
 pub fn par_yen_k_shortest<N: Sync, E: Sync>(
     g: &MultiGraph<N, E>,
     pairs: &[(NodeId, NodeId)],
     k: usize,
     cost: impl Fn(EdgeId) -> f64 + Sync,
 ) -> Vec<Result<Vec<Path>, GraphError>> {
+    let csr = g.to_csr();
+    // A failed build (invalid cost) just disables pruning; the per-pair
+    // searches will surface the same error themselves.
+    let lm = Landmarks::build(&csr, DEFAULT_LANDMARK_COUNT, &cost).ok();
+    par_yen_k_shortest_csr(&csr, pairs, k, cost, lm.as_ref())
+}
+
+/// [`par_yen_k_shortest`] over a prebuilt [`CsrGraph`] and optional
+/// landmark table (which must match the graph + cost function).
+pub fn par_yen_k_shortest_csr(
+    csr: &CsrGraph,
+    pairs: &[(NodeId, NodeId)],
+    k: usize,
+    cost: impl Fn(EdgeId) -> f64 + Sync,
+    lm: Option<&Landmarks>,
+) -> Vec<Result<Vec<Path>, GraphError>> {
     intertubes_obs::counter("graph.yen_queries", pairs.len() as u64);
-    intertubes_parallel::par_map(pairs, |&(s, t)| yen_k_shortest(g, s, t, k, &cost))
+    let chunk = intertubes_parallel::chunk_len(pairs.len());
+    let chunks = intertubes_parallel::par_chunks_map(pairs, chunk, |_, ps| {
+        let mut ws = YenWorkspace::new();
+        ps.iter()
+            .map(|&(s, t)| yen_k_shortest_csr(csr, &mut ws, s, t, k, &cost, lm))
+            .collect::<Vec<_>>()
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{dijkstra, yen_k_shortest};
 
     /// A ring of `n` nodes with unit edges plus one heavy chord.
     fn ring(n: u32) -> MultiGraph<(), f64> {
@@ -95,5 +200,24 @@ mod tests {
         let batch = par_shortest_paths(&g, &pairs, |e| *g.edge(e));
         assert!(batch[0].is_err());
         assert!(batch[1].is_ok());
+    }
+
+    #[test]
+    fn grouped_sources_and_lone_sources_agree_with_serial() {
+        let g = ring(10);
+        // A mix: several targets for source 2, one lone pair for source 7,
+        // an out-of-bounds source, and an out-of-bounds target mid-group.
+        let pairs = [
+            (NodeId(2), NodeId(5)),
+            (NodeId(2), NodeId(99)),
+            (NodeId(7), NodeId(1)),
+            (NodeId(42), NodeId(3)),
+            (NodeId(2), NodeId(8)),
+        ];
+        let cost = |e: EdgeId| *g.edge(e);
+        let batch = par_shortest_paths(&g, &pairs, cost);
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], dijkstra(&g, s, t, cost), "pair {s:?}->{t:?}");
+        }
     }
 }

@@ -1,0 +1,180 @@
+//! Compact CSR (compressed sparse row) adjacency.
+//!
+//! [`MultiGraph`] stores adjacency as one heap-allocated `Vec` per node —
+//! fine for construction, but every Dijkstra relaxation chases a pointer
+//! into a separate allocation. [`CsrGraph`] freezes that adjacency into
+//! three flat `u32` arrays (offsets, neighbour targets, incident edge ids)
+//! plus a flat endpoint table, so a whole search touches a handful of
+//! contiguous allocations. Node and edge payloads stay behind in the
+//! `MultiGraph` arena; the CSR view carries topology only, which is all
+//! the search stack needs (costs come from caller closures keyed by
+//! [`EdgeId`]).
+//!
+//! Half-edge order is exactly the `MultiGraph` adjacency order, so every
+//! search over the CSR view relaxes edges in the same sequence as the
+//! pointer-chasing original — the byte-identity arguments in DESIGN.md §10
+//! lean on that.
+
+use crate::{EdgeId, MultiGraph, NodeId};
+
+/// A frozen, cache-friendly view of a [`MultiGraph`]'s topology.
+///
+/// Build one with [`MultiGraph::to_csr`] (or [`CsrGraph::from_multigraph`])
+/// and share it read-only across as many searches as needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[n]..offsets[n + 1]` indexes node `n`'s half-edges.
+    offsets: Vec<u32>,
+    /// Neighbour node id per half-edge.
+    targets: Vec<u32>,
+    /// Incident edge id per half-edge.
+    edge_ids: Vec<u32>,
+    /// `(u, v)` endpoint pair per edge, in `add_edge` order.
+    endpoints: Vec<(u32, u32)>,
+}
+
+impl CsrGraph {
+    /// Flattens `g`'s adjacency into CSR form, preserving the half-edge
+    /// order exactly (self-loops appear once, as in the source adjacency).
+    pub fn from_multigraph<N, E>(g: &MultiGraph<N, E>) -> CsrGraph {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut edge_ids = Vec::new();
+        offsets.push(0);
+        for node in g.node_ids() {
+            for (e, m) in g.neighbors(node) {
+                edge_ids.push(e.0);
+                targets.push(m.0);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let endpoints = g
+            .edge_ids()
+            .map(|e| {
+                let (u, v) = g.endpoints(e);
+                (u.0, v.0)
+            })
+            .collect();
+        CsrGraph {
+            offsets,
+            targets,
+            edge_ids,
+            endpoints,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Iterator over `(edge, neighbour)` pairs incident to `n`, in the same
+    /// order as [`MultiGraph::neighbors`].
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let (edges, targets) = self.neighbors_raw(n);
+        edges
+            .iter()
+            .zip(targets)
+            .map(|(&e, &t)| (EdgeId(e), NodeId(t)))
+    }
+
+    /// The raw half-edge slices for node `n`: `(edge ids, targets)`.
+    #[inline]
+    pub(crate) fn neighbors_raw(&self, n: NodeId) -> (&[u32], &[u32]) {
+        let lo = self.offsets[n.index()] as usize;
+        let hi = self.offsets[n.index() + 1] as usize;
+        (&self.edge_ids[lo..hi], &self.targets[lo..hi])
+    }
+
+    /// Degree of `n` (self-loops count once).
+    pub fn degree(&self, n: NodeId) -> usize {
+        (self.offsets[n.index() + 1] - self.offsets[n.index()]) as usize
+    }
+
+    /// The two endpoints of edge `e` (in insertion order).
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let (u, v) = self.endpoints[e.index()];
+        (NodeId(u), NodeId(v))
+    }
+
+    /// Given edge `e` incident to node `n`, the endpoint that is not `n`.
+    /// For self-loops returns `n` itself.
+    pub fn other_endpoint(&self, e: EdgeId, n: NodeId) -> NodeId {
+        let (u, v) = self.endpoints(e);
+        if u == n {
+            v
+        } else {
+            u
+        }
+    }
+}
+
+impl<N, E> MultiGraph<N, E> {
+    /// Freezes this graph's topology into a [`CsrGraph`] for the search
+    /// stack. Payloads stay in this arena; costs reach searches through
+    /// closures keyed by [`EdgeId`].
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_multigraph(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> MultiGraph<&'static str, f64> {
+        let mut g = MultiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, d, 2.0);
+        g.add_edge(a, c, 2.5);
+        g.add_edge(c, d, 1.0);
+        g.add_edge(a, b, 9.0); // parallel edge
+        g.add_edge(d, d, 0.5); // self-loop
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_multigraph_adjacency() {
+        let g = diamond();
+        let csr = g.to_csr();
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for n in g.node_ids() {
+            assert_eq!(csr.degree(n), g.degree(n));
+            let a: Vec<_> = g.neighbors(n).collect();
+            let b: Vec<_> = csr.neighbors(n).collect();
+            assert_eq!(a, b, "adjacency order diverged at {n:?}");
+        }
+        for e in g.edge_ids() {
+            assert_eq!(csr.endpoints(e), g.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn self_loop_appears_once() {
+        let g = diamond();
+        let csr = g.to_csr();
+        let d = NodeId(3);
+        let loops = csr.neighbors(d).filter(|&(_, m)| m == d).count();
+        assert_eq!(loops, 1);
+        assert_eq!(csr.other_endpoint(EdgeId(5), d), d);
+    }
+
+    #[test]
+    fn empty_graph_is_empty_csr() {
+        let g: MultiGraph<(), ()> = MultiGraph::new();
+        let csr = g.to_csr();
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+}

@@ -18,25 +18,41 @@
 //! * [`connected_components`], [`bridges`], [`articulation_points`],
 //!   [`stoer_wagner_min_cut`] — robustness primitives ("number of fiber cuts
 //!   needed to partition", §4).
+//! * [`CsrGraph`] + the `csr_*` search family — the cache-friendly hot
+//!   path: frozen flat adjacency, reusable [`SearchState`] scratch,
+//!   early-exit / [`bidirectional_dijkstra`] point queries, and ALT
+//!   [`Landmarks`] pruning. Same results as the `MultiGraph` engines,
+//!   byte for byte; only the cost changes (DESIGN.md §10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
 mod connectivity;
+mod csr;
 mod dijkstra;
+mod landmarks;
 mod multigraph;
 mod path;
+mod search;
 mod yen;
 
-pub use batch::{par_shortest_paths, par_yen_k_shortest};
+pub use batch::{
+    par_shortest_paths, par_shortest_paths_csr, par_yen_k_shortest, par_yen_k_shortest_csr,
+};
 pub use connectivity::{
     articulation_points, bridges, connected_components, is_connected, stoer_wagner_min_cut,
 };
+pub use csr::CsrGraph;
 pub use dijkstra::{dijkstra, dijkstra_filtered, shortest_path_tree, ShortestPathTree};
+pub use landmarks::{Landmarks, DEFAULT_LANDMARK_COUNT};
 pub use multigraph::{EdgeId, EdgeRef, MultiGraph, NodeId};
 pub use path::Path;
-pub use yen::yen_k_shortest;
+pub use search::{
+    bidirectional_dijkstra, csr_dijkstra, csr_dijkstra_filtered, csr_shortest_path_tree,
+    SearchState,
+};
+pub use yen::{yen_k_shortest, yen_k_shortest_csr, YenWorkspace};
 
 /// Errors produced by graph queries.
 #[derive(Debug, Clone, PartialEq, Eq)]

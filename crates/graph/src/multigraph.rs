@@ -211,13 +211,14 @@ impl<N, E> MultiGraph<N, E> {
         self.adjacency[n.index()].len()
     }
 
-    /// All edge ids joining `u` and `v` (in either insertion orientation).
-    pub fn edges_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
+    /// Iterator over all edge ids joining `u` and `v` (in either insertion
+    /// orientation), in adjacency order. Allocation-free — collect if a
+    /// `Vec` is needed.
+    pub fn edges_between(&self, u: NodeId, v: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
         self.adjacency[u.index()]
             .iter()
-            .filter(|(_, w)| *w == v)
+            .filter(move |(_, w)| *w == v)
             .map(|(e, _)| *e)
-            .collect()
     }
 
     /// Iterator over all node ids.
@@ -309,17 +310,17 @@ mod tests {
     #[test]
     fn parallel_edges_are_distinct() {
         let g = diamond();
-        let es = g.edges_between(NodeId(0), NodeId(1));
+        let es: Vec<EdgeId> = g.edges_between(NodeId(0), NodeId(1)).collect();
         assert_eq!(es.len(), 2);
         assert_ne!(es[0], es[1]);
         // Symmetric query.
-        assert_eq!(g.edges_between(NodeId(1), NodeId(0)).len(), 2);
+        assert_eq!(g.edges_between(NodeId(1), NodeId(0)).count(), 2);
     }
 
     #[test]
     fn other_endpoint_works() {
         let g = diamond();
-        let e = g.edges_between(NodeId(1), NodeId(3))[0];
+        let e = g.edges_between(NodeId(1), NodeId(3)).next().unwrap();
         assert_eq!(g.other_endpoint(e, NodeId(1)), NodeId(3));
         assert_eq!(g.other_endpoint(e, NodeId(3)), NodeId(1));
     }

@@ -2,8 +2,72 @@
 //!
 //! Used for the "average delay across all physical paths" series in the
 //! paper's Fig. 12, where multiple existing conduit paths join a city pair.
+//!
+//! The algorithm runs over the frozen [`CsrGraph`] view with a reusable
+//! [`YenWorkspace`]: the spur searches share one [`SearchState`] scratch,
+//! and the ban masks are cleared via touched-lists instead of being
+//! reallocated per spur. Results are identical to the original
+//! `MultiGraph` implementation — same paths, same order, same cost bits —
+//! only the per-query allocation churn is gone (DESIGN.md §10).
 
-use crate::{dijkstra_filtered, EdgeId, GraphError, MultiGraph, NodeId, Path};
+use crate::{csr_dijkstra_filtered, CsrGraph, EdgeId, GraphError, Landmarks};
+use crate::{MultiGraph, NodeId, Path, SearchState};
+
+/// Reusable scratch for [`yen_k_shortest_csr`]: the spur-search state plus
+/// ban masks with touched-lists for O(dirty) clearing.
+///
+/// One workspace serves any number of sequential queries, even over
+/// different graphs (masks regrow as needed).
+#[derive(Debug, Default)]
+pub struct YenWorkspace {
+    st: SearchState,
+    banned_nodes: Vec<bool>,
+    banned_edges: Vec<bool>,
+    set_nodes: Vec<u32>,
+    set_edges: Vec<u32>,
+}
+
+impl YenWorkspace {
+    /// A fresh workspace; buffers grow lazily to the largest graph used.
+    pub fn new() -> YenWorkspace {
+        YenWorkspace::default()
+    }
+
+    fn begin(&mut self, nodes: usize, edges: usize) {
+        if self.banned_nodes.len() < nodes {
+            self.banned_nodes.resize(nodes, false);
+        }
+        if self.banned_edges.len() < edges {
+            self.banned_edges.resize(edges, false);
+        }
+        self.clear_masks();
+    }
+
+    fn clear_masks(&mut self) {
+        for &i in &self.set_nodes {
+            self.banned_nodes[i as usize] = false;
+        }
+        for &i in &self.set_edges {
+            self.banned_edges[i as usize] = false;
+        }
+        self.set_nodes.clear();
+        self.set_edges.clear();
+    }
+
+    fn ban_node(&mut self, n: NodeId) {
+        if !self.banned_nodes[n.index()] {
+            self.banned_nodes[n.index()] = true;
+            self.set_nodes.push(n.0);
+        }
+    }
+
+    fn ban_edge(&mut self, e: EdgeId) {
+        if !self.banned_edges[e.index()] {
+            self.banned_edges[e.index()] = true;
+            self.set_edges.push(e.0);
+        }
+    }
+}
 
 /// Returns up to `k` cheapest *loopless* paths from `source` to `target`,
 /// sorted by ascending cost.
@@ -20,53 +84,99 @@ pub fn yen_k_shortest<N, E>(
     k: usize,
     cost: impl Fn(EdgeId) -> f64,
 ) -> Result<Vec<Path>, GraphError> {
+    let csr = g.to_csr();
+    let mut ws = YenWorkspace::new();
+    yen_k_shortest_csr(&csr, &mut ws, source, target, k, cost, None)
+}
+
+/// [`yen_k_shortest`] over a prebuilt [`CsrGraph`] with reusable scratch
+/// and optional ALT pruning of the spur searches.
+///
+/// `lm`, when given, must have been built over the same graph and cost
+/// function (spur-search ban masks are fine — masking only lengthens
+/// distances, so the landmark bound stays admissible).
+///
+/// Note on invalid costs: searches stop as soon as the target settles, so
+/// a NaN/negative cost on an edge the search never reaches is not
+/// observed; the original full-tree engine would have reported it.
+/// Well-formed cost functions are unaffected.
+pub fn yen_k_shortest_csr(
+    csr: &CsrGraph,
+    ws: &mut YenWorkspace,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    cost: impl Fn(EdgeId) -> f64,
+    lm: Option<&Landmarks>,
+) -> Result<Vec<Path>, GraphError> {
     if k == 0 {
         return Ok(Vec::new());
     }
-    let no_nodes = vec![false; g.node_count()];
-    let no_edges = vec![false; g.edge_count()];
-    let first = match dijkstra_filtered(g, source, target, &cost, &no_nodes, &no_edges)? {
+    ws.begin(csr.node_count(), csr.edge_count());
+    let first = match csr_dijkstra_filtered(
+        csr,
+        &mut ws.st,
+        source,
+        target,
+        &cost,
+        &ws.banned_nodes,
+        &ws.banned_edges,
+        lm,
+    )? {
         Some(p) => p,
         None => return Ok(Vec::new()),
     };
     let mut accepted: Vec<Path> = vec![first];
     let mut candidates: Vec<Path> = Vec::new();
 
-    while accepted.len() < k {
-        // `accepted` starts non-empty and only grows; if that invariant
-        // ever broke, stopping with what we have beats panicking.
-        let Some(last) = accepted.last().cloned() else {
-            break;
-        };
+    'outer: while accepted.len() < k {
         // Each node of the last accepted path except the target is a spur.
-        for j in 0..last.nodes.len() - 1 {
+        for j in 0..accepted[accepted.len() - 1].nodes.len() - 1 {
+            let last = &accepted[accepted.len() - 1];
             let spur_node = last.nodes[j];
             let root_nodes = &last.nodes[..=j];
             let root_edges = &last.edges[..j];
 
-            let mut banned_edges = vec![false; g.edge_count()];
+            ws.clear_masks();
+            let mut to_ban_edges: Vec<EdgeId> = Vec::new();
             for p in accepted.iter().chain(candidates.iter()) {
                 if p.edges.len() > j
                     && p.nodes.len() > j
                     && p.nodes[..=j] == *root_nodes
                     && p.edges[..j] == *root_edges
                 {
-                    banned_edges[p.edges[j].index()] = true;
+                    to_ban_edges.push(p.edges[j]);
                 }
             }
             // Ban the root's interior nodes so spur paths are loopless.
-            let mut banned_nodes = vec![false; g.node_count()];
-            for n in &root_nodes[..j] {
-                banned_nodes[n.index()] = true;
+            let to_ban_nodes: Vec<NodeId> = root_nodes[..j].to_vec();
+            for e in to_ban_edges {
+                ws.ban_edge(e);
+            }
+            for n in to_ban_nodes {
+                ws.ban_node(n);
             }
 
-            let spur =
-                dijkstra_filtered(g, spur_node, target, &cost, &banned_nodes, &banned_edges)?;
+            let spur = csr_dijkstra_filtered(
+                csr,
+                &mut ws.st,
+                spur_node,
+                target,
+                &cost,
+                &ws.banned_nodes,
+                &ws.banned_edges,
+                lm,
+            )?;
             if let Some(spur) = spur {
+                let last = &accepted[accepted.len() - 1];
+                let root_nodes = &last.nodes[..=j];
+                let root_edges = &last.edges[..j];
                 let root_cost: f64 = root_edges.iter().map(|e| cost(*e)).sum();
-                let mut nodes = root_nodes.to_vec();
+                let mut nodes = Vec::with_capacity(root_nodes.len() + spur.nodes.len() - 1);
+                nodes.extend_from_slice(root_nodes);
                 nodes.extend_from_slice(&spur.nodes[1..]);
-                let mut edges = root_edges.to_vec();
+                let mut edges = Vec::with_capacity(root_edges.len() + spur.edges.len());
+                edges.extend_from_slice(root_edges);
                 edges.extend_from_slice(&spur.edges);
                 let cand = Path {
                     nodes,
@@ -83,7 +193,7 @@ pub fn yen_k_shortest<N, E>(
             }
         }
         if candidates.is_empty() {
-            break;
+            break 'outer;
         }
         // Pop the cheapest candidate into the accepted list.
         let Some((best_idx, _)) = candidates
@@ -196,5 +306,31 @@ mod tests {
             .unwrap();
         assert_eq!(yen.len(), 1);
         assert!((yen[0].cost - dj.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs_with_and_without_alt() {
+        let g = g();
+        let csr = g.to_csr();
+        let lm = Landmarks::build(&csr, 4, |e| *g.edge(e)).unwrap();
+        let mut ws = YenWorkspace::new();
+        let fresh = yen_k_shortest(&g, NodeId(0), NodeId(5), 4, |e| *g.edge(e)).unwrap();
+        for _ in 0..3 {
+            let plain =
+                yen_k_shortest_csr(&csr, &mut ws, NodeId(0), NodeId(5), 4, |e| *g.edge(e), None)
+                    .unwrap();
+            assert_eq!(plain, fresh);
+            let pruned = yen_k_shortest_csr(
+                &csr,
+                &mut ws,
+                NodeId(0),
+                NodeId(5),
+                4,
+                |e| *g.edge(e),
+                Some(&lm),
+            )
+            .unwrap();
+            assert_eq!(pruned, fresh);
+        }
     }
 }

@@ -1,0 +1,162 @@
+//! Property-based tests pinning the CSR search stack to the `MultiGraph`
+//! engines: same paths, same order, same cost bits — only the cost of
+//! computing them may differ (DESIGN.md §10).
+//!
+//! The generator includes zero-weight edges, parallel edges, self-loops
+//! and disconnected components — exactly the shapes where a divergent
+//! tie-break or reset bug would surface.
+
+use intertubes_graph::{
+    bidirectional_dijkstra, csr_dijkstra, csr_dijkstra_filtered, csr_shortest_path_tree,
+    dijkstra, dijkstra_filtered, shortest_path_tree, yen_k_shortest, yen_k_shortest_csr,
+    Landmarks, MultiGraph, NodeId, SearchState, YenWorkspace,
+};
+use proptest::prelude::*;
+
+/// A random multigraph: parallel edges, self-loops and zero-weight edges
+/// possible, plus isolated nodes (node count can exceed edge coverage).
+fn arb_graph() -> impl Strategy<Value = (MultiGraph<(), f64>, usize)> {
+    (2usize..9).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n, 0.0f64..50.0), 1..20).prop_map(move |edges| {
+            let mut g = MultiGraph::new();
+            let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for (u, v, w) in edges {
+                // Snap the low end of the weight range to exactly zero so
+                // zero-weight ties get real coverage.
+                let w = if w < 5.0 { 0.0 } else { w };
+                g.add_edge(ns[u], ns[v], w);
+            }
+            (g, n)
+        })
+    })
+}
+
+proptest! {
+    /// The CSR point query returns bit-identical paths to `dijkstra` for
+    /// every pair, across repeated reuses of one scratch state.
+    #[test]
+    fn csr_dijkstra_is_byte_identical((g, _n) in arb_graph()) {
+        let csr = g.to_csr();
+        let mut st = SearchState::new();
+        for s in g.node_ids() {
+            for t in g.node_ids() {
+                let old = dijkstra(&g, s, t, |e| *g.edge(e)).unwrap();
+                let new = csr_dijkstra(&csr, &mut st, s, t, |e| *g.edge(e)).unwrap();
+                prop_assert_eq!(&old, &new, "pair {:?}->{:?}", s, t);
+                if let Some(p) = &new {
+                    prop_assert_eq!(p.cost.to_bits(), old.as_ref().unwrap().cost.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Full CSR trees agree with `shortest_path_tree` on every distance
+    /// and every reconstructed path.
+    #[test]
+    fn csr_tree_is_byte_identical((g, _n) in arb_graph(), s in 0usize..8) {
+        let s = NodeId((s % g.node_count()) as u32);
+        let csr = g.to_csr();
+        let mut st = SearchState::new();
+        let old = shortest_path_tree(&g, s, |e| *g.edge(e)).unwrap();
+        csr_shortest_path_tree(&csr, &mut st, s, |e| *g.edge(e)).unwrap();
+        for t in g.node_ids() {
+            prop_assert_eq!(old.distance(t).to_bits(), st.distance(t).to_bits());
+            prop_assert_eq!(old.path_to(t), st.path_to(t));
+        }
+    }
+
+    /// Masked searches agree too — with and without ALT pruning, which
+    /// must never change the result, only skip work.
+    #[test]
+    fn csr_filtered_is_byte_identical_with_and_without_alt(
+        (g, _n) in arb_graph(),
+        banned_node in 0usize..8,
+        banned_edge in 0usize..19,
+    ) {
+        let csr = g.to_csr();
+        let lm = Landmarks::build(&csr, 4, |e| *g.edge(e)).unwrap();
+        let mut st = SearchState::new();
+        let mut banned_nodes = vec![false; g.node_count()];
+        banned_nodes[banned_node % g.node_count()] = true;
+        let mut banned_edges = vec![false; g.edge_count()];
+        banned_edges[banned_edge % g.edge_count()] = true;
+        for s in g.node_ids() {
+            for t in g.node_ids() {
+                let old = dijkstra_filtered(
+                    &g, s, t, |e| *g.edge(e), &banned_nodes, &banned_edges,
+                ).unwrap();
+                for alt in [None, Some(&lm)] {
+                    let new = csr_dijkstra_filtered(
+                        &csr, &mut st, s, t, |e| *g.edge(e),
+                        &banned_nodes, &banned_edges, alt,
+                    ).unwrap();
+                    prop_assert_eq!(&old, &new, "pair {:?}->{:?} alt={}", s, t, alt.is_some());
+                }
+            }
+        }
+    }
+
+    /// CSR Yen (fresh or reused workspace, pruned or not) returns exactly
+    /// the `MultiGraph` Yen ranking.
+    #[test]
+    fn csr_yen_is_byte_identical((g, n) in arb_graph(), s in 0usize..8, t in 0usize..8, k in 1usize..6) {
+        let s = NodeId((s % n) as u32);
+        let t = NodeId((t % n) as u32);
+        prop_assume!(s != t);
+        let csr = g.to_csr();
+        let lm = Landmarks::build(&csr, 4, |e| *g.edge(e)).unwrap();
+        let mut ws = YenWorkspace::new();
+        let old = yen_k_shortest(&g, s, t, k, |e| *g.edge(e)).unwrap();
+        for alt in [None, Some(&lm)] {
+            let new = yen_k_shortest_csr(&csr, &mut ws, s, t, k, |e| *g.edge(e), alt).unwrap();
+            prop_assert_eq!(&old, &new, "alt={}", alt.is_some());
+        }
+    }
+
+    /// ALT admissibility: the landmark bound never exceeds the true
+    /// shortest-path distance (infinite bounds only when truly separated).
+    #[test]
+    fn landmark_bound_is_admissible((g, _n) in arb_graph(), count in 1usize..6) {
+        let csr = g.to_csr();
+        let lm = Landmarks::build(&csr, count, |e| *g.edge(e)).unwrap();
+        for s in g.node_ids() {
+            let tree = shortest_path_tree(&g, s, |e| *g.edge(e)).unwrap();
+            for t in g.node_ids() {
+                let truth = tree.distance(t);
+                let bound = lm.lower_bound(s, t);
+                prop_assert!(
+                    bound <= truth + 1e-9 || (bound.is_infinite() && truth.is_infinite()),
+                    "{:?}->{:?}: bound {} exceeds true distance {}", s, t, bound, truth
+                );
+            }
+        }
+    }
+
+    /// Bidirectional search finds the exact minimum cost (and a valid
+    /// realizing path) for every pair.
+    #[test]
+    fn bidirectional_cost_matches_dijkstra((g, _n) in arb_graph()) {
+        let csr = g.to_csr();
+        let (mut fwd, mut bwd) = (SearchState::new(), SearchState::new());
+        for s in g.node_ids() {
+            for t in g.node_ids() {
+                let old = dijkstra(&g, s, t, |e| *g.edge(e)).unwrap();
+                let bi = bidirectional_dijkstra(&csr, &mut fwd, &mut bwd, s, t, |e| *g.edge(e))
+                    .unwrap();
+                match (old, bi) {
+                    (Some(u), Some(b)) => {
+                        prop_assert!((u.cost - b.cost).abs() < 1e-9,
+                            "{:?}->{:?}: {} vs {}", s, t, u.cost, b.cost);
+                        prop_assert!(b.is_valid_in(&g));
+                        let sum: f64 = b.edges.iter().map(|e| *g.edge(*e)).sum();
+                        prop_assert!((sum - b.cost).abs() < 1e-9);
+                        prop_assert_eq!(b.source(), s);
+                        prop_assert_eq!(b.target(), t);
+                    }
+                    (None, None) => {}
+                    (u, b) => prop_assert!(false, "{:?}->{:?}: {:?} vs {:?}", s, t, u, b),
+                }
+            }
+        }
+    }
+}

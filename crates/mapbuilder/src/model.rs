@@ -209,8 +209,10 @@ impl FiberMap {
         (nodes.len(), links)
     }
 
-    /// Builds the conduit multigraph: node ids equal map node indices, edge
-    /// payloads are conduit indices. Used by the risk and mitigation crates.
+    /// Builds the conduit multigraph: node ids equal map node indices, and
+    /// edges are added in conduit order, so edge ids *and* edge payloads
+    /// both equal conduit indices (consumers mask conduit `i` by setting
+    /// `banned_edges[i]` directly). Used by the risk and mitigation crates.
     pub fn graph(&self) -> MultiGraph<MapNodeId, MapConduitId> {
         let mut g = MultiGraph::with_capacity(self.nodes.len(), self.conduits.len());
         for i in 0..self.nodes.len() {
@@ -312,7 +314,7 @@ mod tests {
         let g = m.graph();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 3);
-        assert_eq!(g.edges_between(NodeId(0), NodeId(1)).len(), 2);
+        assert_eq!(g.edges_between(NodeId(0), NodeId(1)).count(), 2);
     }
 
     #[test]

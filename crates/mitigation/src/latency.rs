@@ -17,7 +17,10 @@
 
 use intertubes_atlas::{City, TransportNetwork};
 use intertubes_geo::fiber_delay_us;
-use intertubes_graph::{par_shortest_paths, par_yen_k_shortest, EdgeId, MultiGraph, NodeId};
+use intertubes_graph::{
+    par_shortest_paths_csr, par_yen_k_shortest_csr, EdgeId, Landmarks, MultiGraph, NodeId,
+    DEFAULT_LANDMARK_COUNT,
+};
 use intertubes_map::FiberMap;
 use serde::{Deserialize, Serialize};
 
@@ -104,7 +107,16 @@ pub fn latency_study(
 ) -> LatencyReport {
     let mut span = intertubes_obs::stage("mitigation.latency");
     let graph = map.graph();
-    let km = |e: EdgeId| map.conduits[graph.edge(e).index()].geometry.length_km();
+    // Haversine-summing a polyline per relaxation dominated the old
+    // profile; hoist each conduit's length once (same f64 values).
+    let conduit_km: Vec<f64> = map
+        .conduits
+        .iter()
+        .map(|c| c.geometry.length_km())
+        .collect();
+    let km = |e: EdgeId| conduit_km[graph.edge(e).index()];
+    let csr = graph.to_csr();
+    let landmarks = Landmarks::build(&csr, DEFAULT_LANDMARK_COUNT, km).ok();
     let row = row_graph(cities, roads, rails);
     let city_index: std::collections::HashMap<String, usize> = cities
         .iter()
@@ -121,10 +133,12 @@ pub fn latency_study(
     pairs.sort_unstable();
     pairs.dedup();
 
-    // Existing paths: k cheapest loopless conduit routes, batched.
+    // Existing paths: k cheapest loopless conduit routes, batched over the
+    // frozen CSR view with ALT-pruned spur searches.
     let node_pairs: Vec<(NodeId, NodeId)> =
         pairs.iter().map(|&(a, b)| (NodeId(a), NodeId(b))).collect();
-    let yen_results = par_yen_k_shortest(&graph, &node_pairs, cfg.k_paths, km);
+    let yen_results =
+        par_yen_k_shortest_csr(&csr, &node_pairs, cfg.k_paths, km, landmarks.as_ref());
 
     // ROW queries for the pairs whose endpoints are gazetteer cities.
     let mut row_queries: Vec<(NodeId, NodeId)> = Vec::new();
@@ -137,16 +151,18 @@ pub fn latency_study(
             Some(row_queries.len() - 1)
         })
         .collect();
-    let row_results = par_shortest_paths(&row, &row_queries, |e| *row.edge(e));
+    let row_results = par_shortest_paths_csr(&row.to_csr(), &row_queries, |e| *row.edge(e));
 
     let mut out = Vec::with_capacity(pairs.len());
     let mut agree = 0usize;
     for (i, &(a, b)) in pairs.iter().enumerate() {
         let node_a = &map.nodes[a as usize];
         let node_b = &map.nodes[b as usize];
-        let paths = yen_results[i]
-            .as_ref()
-            .expect("km cost is non-negative");
+        // km costs are non-negative by construction, so errors cannot
+        // occur; a pair is simply skipped if they somehow did.
+        let Ok(paths) = yen_results[i].as_ref() else {
+            continue;
+        };
         let Some(best) = paths.first() else { continue };
         let best_km = best.cost;
         let capped: Vec<f64> = paths
@@ -158,15 +174,10 @@ pub fn latency_study(
         // Best ROW path (over the gazetteer's road/rail graph).
         let los_km = node_a.location.distance_km(&node_b.location);
         let row_km = match row_slot[i] {
-            Some(slot) => {
-                match row_results[slot]
-                    .as_ref()
-                    .expect("length cost is non-negative")
-                {
-                    Some(p) => p.cost,
-                    None => los_km,
-                }
-            }
+            Some(slot) => match &row_results[slot] {
+                Ok(Some(p)) => p.cost,
+                _ => los_km,
+            },
             None => los_km,
         };
         if (best_km - row_km).abs() <= 0.01 * row_km.max(1e-9) || best_km <= row_km {

@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use intertubes_graph::{dijkstra_filtered, EdgeId, NodeId};
+use intertubes_graph::{
+    bidirectional_dijkstra, csr_dijkstra_filtered, EdgeId, NodeId, SearchState,
+};
 use intertubes_map::{FiberMap, MapConduitId};
 use intertubes_risk::RiskMatrix;
 use serde::{Deserialize, Serialize};
@@ -82,6 +84,7 @@ pub fn robustness_suggestion_weighted(
     span.items("heavy_conduits", heavy.len());
     span.items("isps", rm.isp_count());
     let graph = map.graph();
+    let csr = graph.to_csr();
     // Shared-risk cost of traversing a conduit (eq. 1's SR term).
     let risk_of = |e: EdgeId| rm.shared[graph.edge(e).index()] as f64;
 
@@ -91,28 +94,30 @@ pub fn robustness_suggestion_weighted(
     let mut pis: Vec<Vec<f64>> = vec![Vec::new(); rm.isp_count()];
     let mut srrs: Vec<Vec<f64>> = vec![Vec::new(); rm.isp_count()];
 
+    let mut st = SearchState::new();
+    let mut banned_edges = vec![false; graph.edge_count()];
+    let banned_nodes = vec![false; graph.node_count()];
     for &hc in heavy {
         let conduit = &map.conduits[hc.index()];
         let original_risk = rm.shared[hc.index()] as f64;
         // Ban the heavy conduit itself; eq. 1 searches E_A, all alternate
-        // paths over existing conduits.
-        let mut banned_edges = vec![false; graph.edge_count()];
-        for e in graph.edge_ids() {
-            if graph.edge(e).index() == hc.index() {
-                banned_edges[e.index()] = true;
-            }
-        }
-        let banned_nodes = vec![false; graph.node_count()];
-        let alt = dijkstra_filtered(
-            &graph,
+        // paths over existing conduits. Edge ids equal conduit indices
+        // (`FiberMap::graph` adds edges in conduit order).
+        banned_edges[hc.index()] = true;
+        let alt = csr_dijkstra_filtered(
+            &csr,
+            &mut st,
             NodeId(conduit.a.0),
             NodeId(conduit.b.0),
             risk_of,
             &banned_nodes,
             &banned_edges,
-        )
-        .expect("risk cost is non-negative");
-        let Some(alt) = alt else { continue };
+            None,
+        );
+        banned_edges[hc.index()] = false;
+        // Risk costs are non-negative by construction; a conduit is simply
+        // skipped if a search somehow errored.
+        let Ok(Some(alt)) = alt else { continue };
         let alt_max_risk = alt
             .edges
             .iter()
@@ -189,35 +194,45 @@ pub fn robustness_suggestion_weighted(
 /// the 12 heavy links the profitable targets.
 pub fn already_optimal_fraction(map: &FiberMap, rm: &RiskMatrix) -> f64 {
     let graph = map.graph();
+    let csr = graph.to_csr();
     let risk_of = |e: EdgeId| rm.shared[graph.edge(e).index()] as f64;
-    let no_banned_nodes = vec![false; graph.node_count()];
-    // One independent filtered-Dijkstra query per conduit; the count of
-    // optimal conduits is a sum over per-conduit booleans, so the fan-out
-    // is order-insensitive.
+    // One independent point query per conduit, masking only that conduit
+    // via infinite cost (edge ids equal conduit indices). The verdict is
+    // cost-only, and shared-risk costs are integers (exact f64 sums in any
+    // association), so the bidirectional engine is safe here.
     let indices: Vec<usize> = (0..map.conduits.len()).collect();
-    let verdicts: Vec<bool> = intertubes_parallel::par_map(&indices, |&i| {
-        let c = &map.conduits[i];
-        let own_risk = rm.shared[i] as f64;
-        let mut banned_edges = vec![false; graph.edge_count()];
-        for e in graph.edge_ids() {
-            if graph.edge(e).index() == i {
-                banned_edges[e.index()] = true;
-            }
-        }
-        let alt = dijkstra_filtered(
-            &graph,
-            NodeId(c.a.0),
-            NodeId(c.b.0),
-            risk_of,
-            &no_banned_nodes,
-            &banned_edges,
-        )
-        .expect("risk cost is non-negative");
-        // The direct conduit is optimal unless a strictly lower-risk
-        // alternate exists.
-        !matches!(alt, Some(p) if p.cost < own_risk)
+    let chunk = intertubes_parallel::chunk_len(indices.len());
+    let verdicts = intertubes_parallel::par_chunks_map(&indices, chunk, |_, chunk_indices| {
+        let mut fwd = SearchState::new();
+        let mut bwd = SearchState::new();
+        chunk_indices
+            .iter()
+            .map(|&i| {
+                let c = &map.conduits[i];
+                let own_risk = rm.shared[i] as f64;
+                let masked = |e: EdgeId| {
+                    if e.index() == i {
+                        f64::INFINITY
+                    } else {
+                        risk_of(e)
+                    }
+                };
+                let alt = bidirectional_dijkstra(
+                    &csr,
+                    &mut fwd,
+                    &mut bwd,
+                    NodeId(c.a.0),
+                    NodeId(c.b.0),
+                    masked,
+                );
+                // The direct conduit is optimal unless a strictly
+                // lower-risk alternate exists (errors cannot occur: risk
+                // costs are non-negative by construction).
+                !matches!(alt, Ok(Some(p)) if p.cost < own_risk)
+            })
+            .collect::<Vec<bool>>()
     });
-    let optimal = verdicts.iter().filter(|&&v| v).count();
+    let optimal = verdicts.iter().flatten().filter(|&&v| v).count();
     optimal as f64 / map.conduits.len().max(1) as f64
 }
 

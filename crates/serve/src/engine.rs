@@ -9,9 +9,12 @@
 
 use std::collections::BTreeMap;
 
+use intertubes_geo::fiber_delay_us;
+use intertubes_graph::{csr_dijkstra_filtered, CsrGraph, EdgeId, Landmarks, NodeId, SearchState};
 use intertubes_map::MapConduitId;
 use intertubes_mitigation::what_if_cut;
 
+use crate::index::{build_landmarks, conduit_km};
 use crate::query::{
     CutImpactView, IspRiskView, LatencyView, NeighborView, PairDeltaView, Query, Response,
     SharedConduitView, SimilarityView, TopSharedView,
@@ -27,6 +30,14 @@ pub struct QueryEngine {
     node_by_label: BTreeMap<String, u32>,
     /// Risk-matrix row by provider name.
     isp_row: BTreeMap<String, usize>,
+    /// Frozen conduit-graph adjacency for the live what-if searches.
+    csr: CsrGraph,
+    /// Per-conduit km (edge `i` = conduit `i`).
+    km: Vec<f64>,
+    /// ALT tables: from the snapshot's v2 section when present, rebuilt
+    /// deterministically otherwise (v1 containers) — either way the same
+    /// tables, so answers don't depend on the container version.
+    landmarks: Option<Landmarks>,
 }
 
 impl QueryEngine {
@@ -46,10 +57,16 @@ impl QueryEngine {
             .enumerate()
             .map(|(i, isp)| (isp.clone(), i))
             .collect();
+        let csr = snap.map.graph().to_csr();
+        let km = conduit_km(&snap.map);
+        let landmarks = snap.landmarks.clone().or_else(|| build_landmarks(&snap.map));
         QueryEngine {
             snap,
             node_by_label,
             isp_row,
+            csr,
+            km,
+            landmarks,
         }
     }
 
@@ -198,10 +215,14 @@ impl QueryEngine {
         }
         let ids: Vec<MapConduitId> = conduits.iter().map(|&c| MapConduitId(c)).collect();
         let report = what_if_cut(&self.snap.map, &self.snap.isps, &ids);
+        // Conduit ids are edge ids of the conduit graph, so the severed
+        // set doubles as the live search's edge ban mask.
         let mut severed = vec![false; n];
         for &c in conduits {
             severed[c as usize] = true;
         }
+        let banned_nodes = vec![false; self.csr.node_count()];
+        let mut st = SearchState::new();
         let pair_deltas = self
             .snap
             .paths
@@ -217,7 +238,22 @@ impl QueryEngine {
                     return None;
                 }
                 let before_us = pair.best_us()?;
-                let after_us = pair.best_surviving_us(&severed);
+                // Exact post-cut best route via a live ALT-pruned search
+                // over the frozen adjacency (the stored k routes were only
+                // an approximation here: a k+1-th route could survive).
+                let after_us = match csr_dijkstra_filtered(
+                    &self.csr,
+                    &mut st,
+                    NodeId(pair.a),
+                    NodeId(pair.b),
+                    |e: EdgeId| self.km[e.index()],
+                    &banned_nodes,
+                    &severed,
+                    self.landmarks.as_ref(),
+                ) {
+                    Ok(Some(p)) => Some(fiber_delay_us(p.cost)),
+                    _ => None,
+                };
                 Some(PairDeltaView {
                     a: self.snap.map.nodes[pair.a as usize].label.clone(),
                     b: self.snap.map.nodes[pair.b as usize].label.clone(),

@@ -17,9 +17,32 @@
 use std::collections::BTreeMap;
 
 use intertubes_geo::fiber_delay_us;
-use intertubes_graph::{par_yen_k_shortest, EdgeId, NodeId};
+use intertubes_graph::{
+    par_yen_k_shortest_csr, CsrGraph, EdgeId, Landmarks, NodeId, DEFAULT_LANDMARK_COUNT,
+};
 use intertubes_map::FiberMap;
 use serde::{Deserialize, Serialize};
+
+/// Per-conduit lengths in km, hoisted once (summing a polyline's haversine
+/// segments per edge relaxation was the old hot spot). Conduit `i` is edge
+/// `i` of [`FiberMap::graph`], so this doubles as the edge-cost table.
+pub(crate) fn conduit_km(map: &FiberMap) -> Vec<f64> {
+    map.conduits
+        .iter()
+        .map(|c| c.geometry.length_km())
+        .collect()
+}
+
+/// Builds the ALT landmark tables for `map`'s conduit graph under the km
+/// cost — the tables frozen into v2 snapshots and rebuilt (bit-identical:
+/// the selection is deterministic) when a v1 snapshot is served.
+pub fn build_landmarks(map: &FiberMap) -> Option<Landmarks> {
+    let csr = map.graph().to_csr();
+    let km = conduit_km(map);
+    // km costs are non-negative by construction; `None` (no pruning) is
+    // the graceful fallback if that were ever violated.
+    Landmarks::build(&csr, DEFAULT_LANDMARK_COUNT, |e: EdgeId| km[e.index()]).ok()
+}
 
 /// One stored route: its length and the conduits it traverses.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -100,14 +123,20 @@ impl PathIndex {
     /// `row_us_by_pair` supplies the §5.3 right-of-way baseline, keyed by
     /// the pair's node labels in `(a, b)` order (as `LatencyReport` emits
     /// them); pairs without an entry fall back to the line-of-sight bound.
+    ///
+    /// `landmarks` (from [`build_landmarks`] or a loaded snapshot) prunes
+    /// the Yen spur searches; `None` builds the same index, slower.
     pub fn build(
         map: &FiberMap,
         k: usize,
         detour_cap: f64,
         row_us_by_pair: &BTreeMap<(String, String), f64>,
+        landmarks: Option<&Landmarks>,
     ) -> PathIndex {
         let graph = map.graph();
-        let km = |e: EdgeId| map.conduits[graph.edge(e).index()].geometry.length_km();
+        let csr: CsrGraph = graph.to_csr();
+        let lengths = conduit_km(map);
+        let km = |e: EdgeId| lengths[graph.edge(e).index()];
 
         let mut node_pairs: Vec<(u32, u32)> = map
             .conduits
@@ -121,7 +150,7 @@ impl PathIndex {
             .iter()
             .map(|&(a, b)| (NodeId(a), NodeId(b)))
             .collect();
-        let yen = par_yen_k_shortest(&graph, &queries, k, km);
+        let yen = par_yen_k_shortest_csr(&csr, &queries, k, km, landmarks);
 
         let pairs = node_pairs
             .iter()

@@ -6,9 +6,10 @@
 //! This crate splits the two concerns:
 //!
 //! * [`snapshot`] — the versioned, checksummed container
-//!   (`intertubes-snapshot/v1`) that freezes a built study: physical map,
-//!   risk matrix, Hamming heat map, traceroute overlay, and the
-//!   precomputed [`index::PathIndex`];
+//!   (`intertubes-snapshot/v2`, with v1 read-compat) that freezes a built
+//!   study: physical map, risk matrix, Hamming heat map, traceroute
+//!   overlay, the precomputed [`index::PathIndex`], and the ALT landmark
+//!   tables for the live search path;
 //! * [`engine`] — a pure query engine answering typed [`query::Query`]
 //!   requests (per-provider risk, similarity, pair latency, top-shared
 //!   rankings, conduit-cut what-ifs) from the snapshot alone;
@@ -34,8 +35,10 @@ pub mod workload;
 
 pub use cache::{CacheConfig, ResultCache};
 pub use engine::QueryEngine;
-pub use index::{PairPaths, PathIndex, PathSummary};
+pub use index::{build_landmarks, PairPaths, PathIndex, PathSummary};
 pub use query::{canonical_key, key_hash, normalize, Query, Response};
 pub use scheduler::{run_batch, ServeConfig, ServeStats};
-pub use snapshot::{fnv1a64, SnapshotError, StudySnapshot, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA};
+pub use snapshot::{
+    fnv1a64, SnapshotError, StudySnapshot, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2,
+};
 pub use workload::{mixed_workload, splitmix64};

@@ -11,19 +11,26 @@
 //! offset  size          content
 //! 0       8             magic b"ITSNAP\r\n"
 //! 8       8             header length H, u64 little-endian
-//! 16      H             header JSON: {"schema","payload_len","checksum"}
+//! 16      H             header JSON: {"schema","payload_len","checksum",
+//!                       and in v2: "landmarks_len","landmarks_checksum"}
 //! 16+H    payload_len   payload JSON (the StudySnapshot itself, compact)
+//! …       landmarks_len landmarks JSON (v2 only; the ALT tables)
 //! ```
 //!
-//! The header names the schema (`intertubes-snapshot/v1`) and carries an
-//! FNV-1a 64-bit checksum of the payload, so truncation, bit rot, and
-//! version skew are all detected before any payload parsing happens. Both
-//! header and payload serialization are deterministic (fixed key order,
-//! round-trip-stable float formatting), which gives the serialization
-//! suite its byte-identical save→load→re-save guarantee.
+//! The header names the schema (`intertubes-snapshot/v2`; v1 containers
+//! load read-only) and carries an FNV-1a 64-bit checksum per section, so
+//! truncation, bit rot, and version skew are all detected before any
+//! payload parsing happens. The ALT landmark tables ride in their own
+//! checksummed section rather than inside the payload: v1 readers never
+//! see them, and a corrupt section is reported as exactly that
+//! ([`SnapshotError::SectionChecksumMismatch`]) instead of a payload
+//! parse error. Both header and payload serialization are deterministic
+//! (fixed key order, round-trip-stable float formatting), which gives the
+//! serialization suite its byte-identical save→load→re-save guarantee.
 
 use std::path::Path;
 
+use intertubes_graph::Landmarks;
 use intertubes_map::FiberMap;
 use intertubes_probes::Overlay;
 use intertubes_risk::{HammingHeatmap, RiskMatrix};
@@ -31,9 +38,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::index::PathIndex;
 
-/// The schema identifier written into (and required of) every container
-/// header.
+/// The v1 schema identifier: payload only, no landmarks section. Still
+/// accepted read-only by [`StudySnapshot::from_bytes`].
 pub const SNAPSHOT_SCHEMA: &str = "intertubes-snapshot/v1";
+
+/// The v2 schema identifier: payload plus a checksummed landmarks
+/// section. Written whenever a snapshot carries landmark tables.
+pub const SNAPSHOT_SCHEMA_V2: &str = "intertubes-snapshot/v2";
 
 /// The 8-byte container magic. The embedded `\r\n` catches newline-mangling
 /// transports, like PNG's signature does.
@@ -83,6 +94,22 @@ pub enum SnapshotError {
     },
     /// The payload passed the checksum but failed to parse or serialize.
     Payload(String),
+    /// A named v2 section's checksum does not match the header's.
+    SectionChecksumMismatch {
+        /// Which section failed (e.g. `"landmarks"`).
+        section: &'static str,
+        /// Checksum the header declares (hex).
+        expected: String,
+        /// Checksum of the section as read (hex).
+        found: String,
+    },
+    /// A named v2 section passed its checksum but failed to parse.
+    BadSection {
+        /// Which section failed (e.g. `"landmarks"`).
+        section: &'static str,
+        /// The parse error.
+        error: String,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -96,13 +123,25 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadHeader(e) => write!(f, "snapshot header malformed: {e}"),
             SnapshotError::WrongSchema { found } => write!(
                 f,
-                "snapshot schema {found:?} is not supported (expected {SNAPSHOT_SCHEMA:?})"
+                "snapshot schema {found:?} is not supported (expected \
+                 {SNAPSHOT_SCHEMA_V2:?} or {SNAPSHOT_SCHEMA:?})"
             ),
             SnapshotError::ChecksumMismatch { expected, found } => write!(
                 f,
                 "snapshot payload corrupt: checksum {found} != declared {expected}"
             ),
             SnapshotError::Payload(e) => write!(f, "snapshot payload malformed: {e}"),
+            SnapshotError::SectionChecksumMismatch {
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot {section} section corrupt: checksum {found} != declared {expected}"
+            ),
+            SnapshotError::BadSection { section, error } => {
+                write!(f, "snapshot {section} section malformed: {error}")
+            }
         }
     }
 }
@@ -115,7 +154,7 @@ impl std::error::Error for SnapshotError {}
 /// `StudyConfig` — that would invert the crate dependency), so `query
 /// config` can echo the provenance of a snapshot without this crate
 /// knowing the config's shape.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StudySnapshot {
     /// The study configuration that produced this snapshot, as JSON.
     pub config: serde_json::Value,
@@ -132,25 +171,91 @@ pub struct StudySnapshot {
     /// Precomputed k-shortest-path index (§5.3 latency queries and cut
     /// what-ifs).
     pub paths: PathIndex,
+    /// ALT landmark tables over the conduit graph, frozen so the serving
+    /// layer's live searches start pruned without a rebuild.
+    ///
+    /// Not part of the payload JSON: the tables travel in their own
+    /// checksummed v2 container section. `None` after loading a v1
+    /// container (the engine rebuilds them deterministically).
+    pub landmarks: Option<Landmarks>,
+}
+
+// Serialization is hand-written (not derived) so `landmarks` stays out of
+// the payload JSON: the tables travel in the container's own checksummed
+// section, and the payload bytes stay identical whether or not landmarks
+// are attached (v1 read-compat depends on this).
+impl Serialize for StudySnapshot {
+    fn to_json_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("config".into(), self.config.to_json_value());
+        map.insert("map".into(), self.map.to_json_value());
+        map.insert("isps".into(), self.isps.to_json_value());
+        map.insert("risk".into(), self.risk.to_json_value());
+        map.insert("hamming".into(), self.hamming.to_json_value());
+        map.insert("overlay".into(), self.overlay.to_json_value());
+        map.insert("paths".into(), self.paths.to_json_value());
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for StudySnapshot {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value.as_object().ok_or_else(|| {
+            serde::Error::custom(format!("expected object for StudySnapshot, got {value:?}"))
+        })?;
+        Ok(StudySnapshot {
+            config: serde::__get_field(obj, "config", "StudySnapshot")?,
+            map: serde::__get_field(obj, "map", "StudySnapshot")?,
+            isps: serde::__get_field(obj, "isps", "StudySnapshot")?,
+            risk: serde::__get_field(obj, "risk", "StudySnapshot")?,
+            hamming: serde::__get_field(obj, "hamming", "StudySnapshot")?,
+            overlay: serde::__get_field(obj, "overlay", "StudySnapshot")?,
+            paths: serde::__get_field(obj, "paths", "StudySnapshot")?,
+            landmarks: None,
+        })
+    }
 }
 
 impl StudySnapshot {
-    /// Serializes to the container format. Deterministic: the same
-    /// snapshot always yields the same bytes.
+    /// Serializes to the container format: v2 when landmark tables are
+    /// present, v1 otherwise. Deterministic: the same snapshot always
+    /// yields the same bytes.
     pub fn to_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
         let payload = serde_json::to_string(self).map_err(|e| SnapshotError::Payload(e.to_string()))?;
         let checksum = fnv1a64(payload.as_bytes());
-        // The header is assembled by hand so its key order is fixed by
-        // this line, not by a map implementation.
-        let header = format!(
-            "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"payload_len\":{},\"checksum\":\"{checksum:016x}\"}}",
-            payload.len()
-        );
-        let mut out = Vec::with_capacity(16 + header.len() + payload.len());
+        // Headers are assembled by hand so their key order is fixed by
+        // these lines, not by a map implementation.
+        let (header, landmarks) = match &self.landmarks {
+            Some(lm) => {
+                let section = serde_json::to_string(lm).map_err(|e| SnapshotError::BadSection {
+                    section: "landmarks",
+                    error: e.to_string(),
+                })?;
+                let section_sum = fnv1a64(section.as_bytes());
+                let header = format!(
+                    "{{\"schema\":\"{SNAPSHOT_SCHEMA_V2}\",\"payload_len\":{},\"checksum\":\"{checksum:016x}\",\"landmarks_len\":{},\"landmarks_checksum\":\"{section_sum:016x}\"}}",
+                    payload.len(),
+                    section.len()
+                );
+                (header, Some(section))
+            }
+            None => (
+                format!(
+                    "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"payload_len\":{},\"checksum\":\"{checksum:016x}\"}}",
+                    payload.len()
+                ),
+                None,
+            ),
+        };
+        let lm_len = landmarks.as_ref().map_or(0, |s| s.len());
+        let mut out = Vec::with_capacity(16 + header.len() + payload.len() + lm_len);
         out.extend_from_slice(SNAPSHOT_MAGIC);
         out.extend_from_slice(&(header.len() as u64).to_le_bytes());
         out.extend_from_slice(header.as_bytes());
         out.extend_from_slice(payload.as_bytes());
+        if let Some(section) = landmarks {
+            out.extend_from_slice(section.as_bytes());
+        }
         Ok(out)
     }
 
@@ -184,7 +289,7 @@ impl StudySnapshot {
             .get("schema")
             .and_then(|v| v.as_str())
             .ok_or_else(|| SnapshotError::BadHeader("missing \"schema\"".into()))?;
-        if schema != SNAPSHOT_SCHEMA {
+        if schema != SNAPSHOT_SCHEMA && schema != SNAPSHOT_SCHEMA_V2 {
             return Err(SnapshotError::WrongSchema {
                 found: schema.to_string(),
             });
@@ -215,7 +320,54 @@ impl StudySnapshot {
         }
         let text = std::str::from_utf8(payload)
             .map_err(|e| SnapshotError::Payload(e.to_string()))?;
-        serde_json::from_str(text).map_err(|e| SnapshotError::Payload(e.to_string()))
+        let mut snap: StudySnapshot =
+            serde_json::from_str(text).map_err(|e| SnapshotError::Payload(e.to_string()))?;
+        if schema == SNAPSHOT_SCHEMA_V2 {
+            snap.landmarks = Some(Self::parse_landmarks(bytes, &header, payload_end)?);
+        }
+        Ok(snap)
+    }
+
+    /// Validates and parses the v2 landmarks section, whose extent and
+    /// checksum the header declares.
+    fn parse_landmarks(
+        bytes: &[u8],
+        header: &serde_json::Value,
+        section_start: usize,
+    ) -> Result<Landmarks, SnapshotError> {
+        let section_len = header
+            .get("landmarks_len")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| SnapshotError::BadHeader("missing \"landmarks_len\"".into()))?
+            as usize;
+        let expected = header
+            .get("landmarks_checksum")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| SnapshotError::BadHeader("missing \"landmarks_checksum\"".into()))?;
+        let section_end = section_start.saturating_add(section_len);
+        if bytes.len() < section_end {
+            return Err(SnapshotError::Truncated {
+                needed: section_end,
+                have: bytes.len(),
+            });
+        }
+        let section = &bytes[section_start..section_end];
+        let found = format!("{:016x}", fnv1a64(section));
+        if found != expected {
+            return Err(SnapshotError::SectionChecksumMismatch {
+                section: "landmarks",
+                expected: expected.to_string(),
+                found,
+            });
+        }
+        let text = std::str::from_utf8(section).map_err(|e| SnapshotError::BadSection {
+            section: "landmarks",
+            error: e.to_string(),
+        })?;
+        serde_json::from_str(text).map_err(|e| SnapshotError::BadSection {
+            section: "landmarks",
+            error: e.to_string(),
+        })
     }
 
     /// Writes the container to `path`.

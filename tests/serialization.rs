@@ -10,7 +10,7 @@
 //!
 //! [`SnapshotError`]: intertubes::serve::SnapshotError
 
-use intertubes::serve::{SnapshotError, StudySnapshot, SNAPSHOT_SCHEMA};
+use intertubes::serve::{SnapshotError, StudySnapshot, SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2};
 use intertubes::{IntertubesError, Study, StudyConfig};
 
 #[test]
@@ -97,6 +97,71 @@ fn container_with_schema(schema: &str) -> Vec<u8> {
     bytes
 }
 
+/// A two-node, one-conduit snapshot with landmark tables — cheap enough
+/// for the container tests to build real v2 bytes without running the full
+/// pipeline.
+fn tiny_snapshot() -> StudySnapshot {
+    use intertubes::geo::{GeoPoint, Polyline};
+    use intertubes::map::{FiberMap, MapConduit, Provenance, Tenancy, TenancySource};
+    let dallas = GeoPoint::new_unchecked(32.78, -96.80);
+    let houston = GeoPoint::new_unchecked(29.76, -95.37);
+    let mut map = FiberMap::default();
+    let a = map.ensure_node("Dallas, TX", dallas);
+    let b = map.ensure_node("Houston, TX", houston);
+    map.conduits.push(MapConduit {
+        a,
+        b,
+        geometry: Polyline::straight(dallas, houston),
+        tenants: vec![Tenancy {
+            isp: "AT&T".into(),
+            source: TenancySource::PublishedMap,
+        }],
+        provenance: Provenance::Step1,
+        validated: true,
+        row: None,
+    });
+    let landmarks = intertubes::serve::build_landmarks(&map);
+    assert!(landmarks.is_some(), "landmark build failed on a connected map");
+    let paths = intertubes::serve::PathIndex::build(
+        &map,
+        2,
+        3.0,
+        &std::collections::BTreeMap::new(),
+        landmarks.as_ref(),
+    );
+    StudySnapshot {
+        config: serde_json::Value::Null,
+        map,
+        isps: vec!["AT&T".into()],
+        risk: intertubes::risk::RiskMatrix {
+            isps: vec!["AT&T".into()],
+            uses: vec![vec![true]],
+            shared: vec![1],
+        },
+        hamming: intertubes::risk::HammingHeatmap {
+            isps: vec!["AT&T".into()],
+            distance: vec![vec![0]],
+        },
+        overlay: intertubes::probes::Overlay {
+            conduit_freq: vec![0],
+            west_east: vec![0],
+            east_west: vec![0],
+            observed_isps: vec![Default::default()],
+            isp_conduits: Default::default(),
+            overlaid: 0,
+            skipped: 0,
+        },
+        paths,
+        landmarks,
+    }
+}
+
+/// The header JSON text of a container.
+fn header_text(bytes: &[u8]) -> &str {
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    std::str::from_utf8(&bytes[16..16 + len]).unwrap()
+}
+
 #[test]
 fn snapshot_saves_loads_and_resaves_byte_identically() {
     let s = Study::reference();
@@ -110,6 +175,59 @@ fn snapshot_saves_loads_and_resaves_byte_identically() {
     // ...and re-saving it reproduces the container bit for bit — the
     // determinism guarantee checksums and goldens rely on.
     assert_eq!(back.to_bytes().unwrap(), bytes);
+}
+
+#[test]
+fn v2_container_names_the_schema_and_round_trips_landmarks() {
+    let snap = tiny_snapshot();
+    let bytes = snap.to_bytes().unwrap();
+    let header = header_text(&bytes);
+    assert!(header.contains(SNAPSHOT_SCHEMA_V2), "header was {header}");
+    assert!(header.contains("landmarks_checksum"), "header was {header}");
+    let back = StudySnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(back.landmarks, snap.landmarks);
+    assert_eq!(back.to_bytes().unwrap(), bytes);
+}
+
+#[test]
+fn v1_containers_load_without_landmarks() {
+    // A snapshot without landmark tables is exactly what a pre-v2 writer
+    // produced: the same payload bytes under the v1 schema.
+    let mut snap = tiny_snapshot();
+    snap.landmarks = None;
+    let bytes = snap.to_bytes().unwrap();
+    assert!(header_text(&bytes).contains(SNAPSHOT_SCHEMA));
+    let back = StudySnapshot::from_bytes(&bytes).unwrap();
+    assert!(back.landmarks.is_none());
+    assert_eq!(back.map.conduits.len(), snap.map.conduits.len());
+    // Re-saving a v1 load stays v1, byte for byte.
+    assert_eq!(back.to_bytes().unwrap(), bytes);
+}
+
+#[test]
+fn corrupt_landmarks_section_is_a_section_checksum_mismatch() {
+    let mut bytes = tiny_snapshot().to_bytes().unwrap();
+    let last = bytes.len() - 1; // the landmarks section is the tail
+    bytes[last] ^= 0x20;
+    match StudySnapshot::from_bytes(&bytes).unwrap_err() {
+        SnapshotError::SectionChecksumMismatch { section, .. } => {
+            assert_eq!(section, "landmarks");
+        }
+        other => panic!("expected SectionChecksumMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn truncated_landmarks_section_reports_missing_bytes() {
+    let bytes = tiny_snapshot().to_bytes().unwrap();
+    let cut = &bytes[..bytes.len() - 1];
+    match StudySnapshot::from_bytes(cut).unwrap_err() {
+        SnapshotError::Truncated { needed, have } => {
+            assert_eq!(needed, bytes.len());
+            assert_eq!(have, bytes.len() - 1);
+        }
+        other => panic!("expected Truncated, got {other}"),
+    }
 }
 
 #[test]
@@ -170,10 +288,16 @@ fn snapshot_errors_join_the_workspace_taxonomy() {
 fn cli_rejects_bad_snapshots_with_exit_3() {
     let dir = std::env::temp_dir().join("intertubes-serialization-test");
     std::fs::create_dir_all(&dir).unwrap();
+    let v2 = tiny_snapshot().to_bytes().unwrap();
+    let mut v2_corrupt = v2.clone();
+    let last = v2_corrupt.len() - 1;
+    v2_corrupt[last] ^= 0x20; // flip a bit inside the landmarks section
     let cases = [
         ("notsnap.bin", b"this is not a snapshot".to_vec()),
         ("wrong_schema.snap", container_with_schema("intertubes-snapshot/v9")),
         ("truncated.snap", container_with_schema(SNAPSHOT_SCHEMA)[..12].to_vec()),
+        ("corrupt_landmarks.snap", v2_corrupt),
+        ("truncated_landmarks.snap", v2[..v2.len() - 1].to_vec()),
     ];
     for (name, bytes) in cases {
         let path = dir.join(name);
