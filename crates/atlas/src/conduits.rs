@@ -385,7 +385,7 @@ fn detour_geometry(road: &TransportNetwork, u: NodeId, v: NodeId) -> Option<Poly
     };
     let from_u = cities_loc(road, u);
     let mut pts = orient(&road.graph.edge(e1).geometry, from_u);
-    let w_loc = *pts.last().expect("corridor has points");
+    let w_loc = *pts.last()?;
     let seg2 = orient(&road.graph.edge(e2).geometry, w_loc);
     pts.extend_from_slice(&seg2[1..]);
     Polyline::new(pts).ok()

@@ -23,6 +23,14 @@
 //! Everything is a pure function of `(input, plan)`: each fault family
 //! derives its RNG stream from the plan seed and a per-family constant, so
 //! adding one family to a plan never re-randomizes another.
+//!
+//! Beyond the input stages, the plan DSL also carries a **runtime fault
+//! group** (torn snapshot writes, section bit-flips, transient I/O errors,
+//! slow reads, cache-shard poisoning, overload bursts) consumed by the
+//! serving layer's `ChaosIo` wrapper and scheduler hooks — see
+//! `intertubes-serve::chaos`. The injectors in this crate never apply
+//! runtime families; they are listed in [`FaultFamily::RUNTIME`] and
+//! share the same seeded-stream discipline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,11 +76,48 @@ pub enum FaultFamily {
     CorruptTraceEndpoints,
     /// Delete transport-layer corridors, disconnecting the graph.
     DisconnectTransport,
+    /// Runtime: a snapshot write persists only a prefix of the bytes
+    /// (power loss / kill mid-write) while reporting success.
+    TornSnapshotWrite,
+    /// Runtime: flip one bit of a snapshot read, in the section named by
+    /// the spec's `section` field (payload when unset).
+    SnapshotBitFlip,
+    /// Runtime: a snapshot open/read fails with a transient I/O error.
+    TransientIo,
+    /// Runtime: a snapshot read stalls (accounted as virtual microseconds;
+    /// no wall-clock enters any decision).
+    SlowRead,
+    /// Runtime: silently corrupt every entry of one result-cache shard.
+    CachePoison,
+    /// Runtime: a scheduler wave is hit by an overload burst, forcing the
+    /// tail of the queue into degraded responses.
+    OverloadBurst,
 }
 
 impl FaultFamily {
     /// All families, in declaration order.
-    pub const ALL: [FaultFamily; 11] = [
+    pub const ALL: [FaultFamily; 17] = [
+        FaultFamily::NanCoordinates,
+        FaultFamily::OutOfRangeCoordinates,
+        FaultFamily::DropLinks,
+        FaultFamily::DuplicateLinks,
+        FaultFamily::StripGeometry,
+        FaultFamily::CorruptDocuments,
+        FaultFamily::ContradictoryDocuments,
+        FaultFamily::TruncateTraces,
+        FaultFamily::MisgeolocateHops,
+        FaultFamily::CorruptTraceEndpoints,
+        FaultFamily::DisconnectTransport,
+        FaultFamily::TornSnapshotWrite,
+        FaultFamily::SnapshotBitFlip,
+        FaultFamily::TransientIo,
+        FaultFamily::SlowRead,
+        FaultFamily::CachePoison,
+        FaultFamily::OverloadBurst,
+    ];
+
+    /// The input-stage families applied by this crate's injectors.
+    pub const INPUT: [FaultFamily; 11] = [
         FaultFamily::NanCoordinates,
         FaultFamily::OutOfRangeCoordinates,
         FaultFamily::DropLinks,
@@ -85,6 +130,21 @@ impl FaultFamily {
         FaultFamily::CorruptTraceEndpoints,
         FaultFamily::DisconnectTransport,
     ];
+
+    /// The runtime families consumed by the serving layer's chaos hooks.
+    pub const RUNTIME: [FaultFamily; 6] = [
+        FaultFamily::TornSnapshotWrite,
+        FaultFamily::SnapshotBitFlip,
+        FaultFamily::TransientIo,
+        FaultFamily::SlowRead,
+        FaultFamily::CachePoison,
+        FaultFamily::OverloadBurst,
+    ];
+
+    /// Whether this family belongs to the runtime (serving-layer) group.
+    pub fn is_runtime(self) -> bool {
+        FaultFamily::RUNTIME.contains(&self)
+    }
 
     /// Stable label used in ledger rendering and test diagnostics.
     pub fn label(self) -> &'static str {
@@ -100,6 +160,12 @@ impl FaultFamily {
             FaultFamily::MisgeolocateHops => "misgeolocate-hops",
             FaultFamily::CorruptTraceEndpoints => "corrupt-trace-endpoints",
             FaultFamily::DisconnectTransport => "disconnect-transport",
+            FaultFamily::TornSnapshotWrite => "torn-snapshot-write",
+            FaultFamily::SnapshotBitFlip => "snapshot-bit-flip",
+            FaultFamily::TransientIo => "transient-io",
+            FaultFamily::SlowRead => "slow-read",
+            FaultFamily::CachePoison => "cache-poison",
+            FaultFamily::OverloadBurst => "overload-burst",
         }
     }
 
@@ -118,6 +184,12 @@ impl FaultFamily {
             FaultFamily::MisgeolocateHops => 0x99,
             FaultFamily::CorruptTraceEndpoints => 0xAA,
             FaultFamily::DisconnectTransport => 0xBB,
+            FaultFamily::TornSnapshotWrite => 0xCC,
+            FaultFamily::SnapshotBitFlip => 0xDD,
+            FaultFamily::TransientIo => 0xEE,
+            FaultFamily::SlowRead => 0xFF,
+            FaultFamily::CachePoison => 0x1A,
+            FaultFamily::OverloadBurst => 0x2B,
         }
     }
 }
@@ -125,6 +197,29 @@ impl FaultFamily {
 impl std::fmt::Display for FaultFamily {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// A snapshot-container section, targeted by
+/// [`FaultFamily::SnapshotBitFlip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SnapshotSection {
+    /// The JSON header (schema, lengths, checksums).
+    Header,
+    /// The study payload.
+    Payload,
+    /// The v2 landmark-table section.
+    Landmarks,
+}
+
+impl SnapshotSection {
+    /// Stable label used in ledger rendering and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotSection::Header => "header",
+            SnapshotSection::Payload => "payload",
+            SnapshotSection::Landmarks => "landmarks",
+        }
     }
 }
 
@@ -137,7 +232,45 @@ pub struct FaultSpec {
     /// [`FaultFamily::DisconnectTransport`] this is the fraction of
     /// corridors deleted.
     pub rate: f64,
+    /// For [`FaultFamily::SnapshotBitFlip`]: which container section the
+    /// flip lands in (payload when unset). Ignored by other families, and
+    /// omitted from JSON when absent, so pre-runtime plan files parse
+    /// unchanged.
+    pub section: Option<SnapshotSection>,
 }
+
+/// A typed parse/validation error for [`FaultPlan::from_json`].
+///
+/// Rates are validated at parse time: the old behavior silently accepted
+/// `NaN` (which [`FaultPlan::rate`]'s clamp propagates) and negative
+/// values. Rates above `1.0` remain legal — `rate()` clamps them — so
+/// summed multi-spec plans keep working.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// The text was not a syntactically valid plan.
+    Parse(String),
+    /// A spec carried a non-finite or negative rate.
+    InvalidRate {
+        /// The offending spec's family.
+        family: FaultFamily,
+        /// The rejected rate value.
+        rate: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::Parse(msg) => write!(f, "fault plan parse error: {msg}"),
+            FaultPlanError::InvalidRate { family, rate } => write!(
+                f,
+                "fault plan: invalid rate {rate} for family {family} (must be finite and >= 0)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A composed fault scenario: a seed plus a list of [`FaultSpec`]s.
 ///
@@ -164,7 +297,22 @@ impl FaultPlan {
 
     /// Builder: appends one fault spec.
     pub fn with(mut self, family: FaultFamily, rate: f64) -> Self {
-        self.faults.push(FaultSpec { family, rate });
+        self.faults.push(FaultSpec {
+            family,
+            rate,
+            section: None,
+        });
+        self
+    }
+
+    /// Builder: appends one fault spec targeting a snapshot section
+    /// (meaningful for [`FaultFamily::SnapshotBitFlip`]).
+    pub fn with_section(mut self, family: FaultFamily, rate: f64, section: SnapshotSection) -> Self {
+        self.faults.push(FaultSpec {
+            family,
+            rate,
+            section: Some(section),
+        });
         self
     }
 
@@ -185,21 +333,90 @@ impl FaultPlan {
         sum.clamp(0.0, 1.0)
     }
 
+    /// Whether any runtime family has a positive rate (i.e. the serving
+    /// layer's chaos hooks have work to do).
+    pub fn has_runtime_faults(&self) -> bool {
+        FaultFamily::RUNTIME.iter().any(|&f| self.rate(f) > 0.0)
+    }
+
+    /// The snapshot section targeted by the first matching spec of
+    /// `family` that names one (`None` when no spec does).
+    pub fn section_for(&self, family: FaultFamily) -> Option<SnapshotSection> {
+        self.faults
+            .iter()
+            .filter(|f| f.family == family)
+            .find_map(|f| f.section)
+    }
+
     /// Seeded RNG for one family's stream.
     fn rng(&self, family: FaultFamily) -> StdRng {
         StdRng::seed_from_u64(self.seed ^ family.stream().wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Parses a plan from JSON text.
-    pub fn from_json(text: &str) -> Result<FaultPlan, serde_json::Error> {
-        serde_json::from_str(text)
+    /// Public access to a family's seeded stream, for runtime consumers
+    /// (the serving layer's `ChaosIo` draws from these so chaos decisions
+    /// stay independent of input-stage injection and of each other).
+    pub fn stream_rng(&self, family: FaultFamily) -> StdRng {
+        self.rng(family)
     }
 
-    /// Serializes the plan to pretty JSON (the CLI's scenario file format).
+    /// Validates every spec's rate: rejects non-finite (`NaN`, `inf`) and
+    /// negative values with a typed error. Rates above `1.0` are allowed
+    /// (clamped by [`FaultPlan::rate`]).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for spec in &self.faults {
+            if !spec.rate.is_finite() || spec.rate < 0.0 {
+                return Err(FaultPlanError::InvalidRate {
+                    family: spec.family,
+                    rate: spec.rate,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a plan from JSON text, rejecting malformed rates at parse
+    /// time (see [`FaultPlanError`]).
+    pub fn from_json(text: &str) -> Result<FaultPlan, FaultPlanError> {
+        let plan: FaultPlan =
+            serde_json::from_str(text).map_err(|e| FaultPlanError::Parse(e.to_string()))?;
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Serializes the plan to pretty JSON (the CLI's scenario file
+    /// format). Infallible by construction: the writer below emits every
+    /// field directly, so there is no error path to swallow. Non-finite
+    /// rates (only constructible via the builder) serialize as `null`,
+    /// which [`FaultPlan::from_json`] rejects — such plans are invalid
+    /// and do not round-trip by design.
     pub fn to_json(&self) -> String {
-        // Derived serialization of a plain-data struct cannot fail; the
-        // fallback is an empty plan rather than a panic path.
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{\"seed\":0,\"faults\":[]}".into())
+        let mut out = String::with_capacity(64 + self.faults.len() * 64);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"faults\": [");
+        for (i, spec) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    { \"family\": \"");
+            out.push_str(&format!("{:?}", spec.family));
+            out.push_str("\", \"rate\": ");
+            if spec.rate.is_finite() {
+                out.push_str(&format!("{:?}", spec.rate));
+            } else {
+                out.push_str("null");
+            }
+            if let Some(section) = spec.section {
+                out.push_str(&format!(", \"section\": \"{section:?}\""));
+            }
+            out.push_str(" }");
+        }
+        if !self.faults.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
     }
 
     /// Named built-in scenarios, used by tests and documented in
@@ -248,6 +465,51 @@ impl FaultPlan {
                     .with(FaultFamily::MisgeolocateHops, 0.04)
                     .with(FaultFamily::CorruptTraceEndpoints, 0.02)
                     .with(FaultFamily::DisconnectTransport, 0.20),
+            ),
+        ]
+    }
+
+    /// Named built-in **runtime** chaos scenarios, consumed by the serving
+    /// layer (`serve --chaos <name>`), `scripts/chaos_gate.sh`, and the
+    /// chaos battery in `tests/chaos.rs`. Each exercises one runtime fault
+    /// family; `"chaos-everything"` composes all six.
+    pub fn built_in_chaos_scenarios() -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            (
+                "torn-write",
+                FaultPlan::new(2015).with(FaultFamily::TornSnapshotWrite, 0.7),
+            ),
+            (
+                "flaky-io",
+                FaultPlan::new(2015)
+                    .with(FaultFamily::TransientIo, 0.4)
+                    .with(FaultFamily::SlowRead, 0.3),
+            ),
+            (
+                "bit-rot",
+                FaultPlan::new(2015).with_section(
+                    FaultFamily::SnapshotBitFlip,
+                    0.4,
+                    SnapshotSection::Payload,
+                ),
+            ),
+            (
+                "poisoned-cache",
+                FaultPlan::new(2015).with(FaultFamily::CachePoison, 0.35),
+            ),
+            (
+                "overload",
+                FaultPlan::new(2015).with(FaultFamily::OverloadBurst, 0.4),
+            ),
+            (
+                "chaos-everything",
+                FaultPlan::new(2015)
+                    .with(FaultFamily::TornSnapshotWrite, 0.3)
+                    .with_section(FaultFamily::SnapshotBitFlip, 0.2, SnapshotSection::Payload)
+                    .with(FaultFamily::TransientIo, 0.25)
+                    .with(FaultFamily::SlowRead, 0.2)
+                    .with(FaultFamily::CachePoison, 0.25)
+                    .with(FaultFamily::OverloadBurst, 0.3),
             ),
         ]
     }
@@ -884,12 +1146,78 @@ mod tests {
             .find(|(n, _)| *n == "everything")
             .unwrap()
             .1;
-        for family in FaultFamily::ALL {
+        for family in FaultFamily::INPUT {
             assert!(everything.rate(family) > 0.0, "missing {family}");
         }
-        for (_, plan) in &scenarios {
+        let chaos = FaultPlan::built_in_chaos_scenarios();
+        let chaos_everything = &chaos
+            .iter()
+            .find(|(n, _)| *n == "chaos-everything")
+            .unwrap()
+            .1;
+        for family in FaultFamily::RUNTIME {
+            assert!(family.is_runtime());
+            assert!(chaos_everything.rate(family) > 0.0, "missing {family}");
+        }
+        assert!(chaos_everything.has_runtime_faults());
+        assert!(!everything.has_runtime_faults());
+        assert_eq!(
+            FaultFamily::INPUT.len() + FaultFamily::RUNTIME.len(),
+            FaultFamily::ALL.len()
+        );
+        for (_, plan) in scenarios.iter().chain(chaos.iter()) {
             let back = FaultPlan::from_json(&plan.to_json()).unwrap();
             assert_eq!(*plan, back);
         }
+    }
+
+    #[test]
+    fn from_json_rejects_nan_and_negative_rates() {
+        let nan = r#"{"seed": 1, "faults": [{"family": "DropLinks", "rate": nan}]}"#;
+        assert!(matches!(
+            FaultPlan::from_json(nan),
+            Err(FaultPlanError::Parse(_))
+        ));
+        let negative = r#"{"seed": 1, "faults": [{"family": "DropLinks", "rate": -0.5}]}"#;
+        match FaultPlan::from_json(negative) {
+            Err(FaultPlanError::InvalidRate { family, rate }) => {
+                assert_eq!(family, FaultFamily::DropLinks);
+                assert_eq!(rate, -0.5);
+            }
+            other => panic!("expected InvalidRate, got {other:?}"),
+        }
+        // NaN constructed via the builder is caught by validate(), and its
+        // to_json form (null rate) is rejected at parse time.
+        let built = FaultPlan::new(1).with(FaultFamily::DropLinks, f64::NAN);
+        assert!(matches!(
+            built.validate(),
+            Err(FaultPlanError::InvalidRate { .. })
+        ));
+        assert!(FaultPlan::from_json(&built.to_json()).is_err());
+        // Rates above 1.0 stay legal: rate() clamps them.
+        let hot = r#"{"seed": 1, "faults": [{"family": "DropLinks", "rate": 2.5}]}"#;
+        let plan = FaultPlan::from_json(hot).unwrap();
+        assert_eq!(plan.rate(FaultFamily::DropLinks), 1.0);
+    }
+
+    #[test]
+    fn sectioned_specs_round_trip_and_old_json_still_parses() {
+        let plan = FaultPlan::new(7).with_section(
+            FaultFamily::SnapshotBitFlip,
+            0.5,
+            SnapshotSection::Landmarks,
+        );
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(
+            back.section_for(FaultFamily::SnapshotBitFlip),
+            Some(SnapshotSection::Landmarks)
+        );
+        // A pre-runtime plan file (no "section" key anywhere) still parses,
+        // with section defaulting to None.
+        let old = r#"{"seed": 3, "faults": [{"family": "TransientIo", "rate": 0.25}]}"#;
+        let plan = FaultPlan::from_json(old).unwrap();
+        assert_eq!(plan.section_for(FaultFamily::TransientIo), None);
+        assert_eq!(plan.rate(FaultFamily::TransientIo), 0.25);
     }
 }

@@ -37,6 +37,9 @@ pub struct RunInfo {
     pub threads: usize,
     /// Process exit status the run ended with.
     pub exit_status: i32,
+    /// Serving health summary (final state plus transition trace), when
+    /// the run exercised the serving layer; `None` elsewhere.
+    pub health: Option<Value>,
 }
 
 /// The headline topology counts (§2 of the paper: the reference
@@ -138,6 +141,10 @@ pub fn build_manifest(
     run.insert(
         "exit_status".to_string(),
         Value::Number(Number::Int(info.exit_status as i64)),
+    );
+    run.insert(
+        "health".to_string(),
+        info.health.clone().unwrap_or(Value::Null),
     );
 
     let mut environment = Map::new();
@@ -316,6 +323,10 @@ pub fn validate_manifest(manifest: &Value, required_stages: &[&str]) -> Result<(
                 Some(v) if v.is_null() || v.is_object() => {}
                 other => problem(format!("run.fault_plan invalid: {other:?}")),
             }
+            match run.get("health") {
+                Some(v) if v.is_null() || v.is_object() => {}
+                other => problem(format!("run.health invalid: {other:?}")),
+            }
         }
         _ => problem("run section missing".to_string()),
     }
@@ -450,6 +461,7 @@ mod tests {
             fault_plan: None,
             threads: 8,
             exit_status: 0,
+            health: None,
         }
     }
 

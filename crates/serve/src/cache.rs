@@ -12,11 +12,21 @@
 //! function of the workload order alone, not of thread interleaving. A
 //! hit returns the exact bytes a recomputation would produce, because the
 //! engine is pure.
+//!
+//! Every entry carries an FNV-1a checksum of its bytes, verified on every
+//! hit. A mismatch (bit rot, or injected [`FaultFamily::CachePoison`])
+//! evicts the entry and reports a miss, so the scheduler recomputes — the
+//! response bytes are identical either way, which keeps poisoning inside
+//! the determinism contract too.
+//!
+//! [`FaultFamily::CachePoison`]: intertubes_faults::FaultFamily::CachePoison
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::query::key_hash;
+use crate::snapshot::fnv1a64;
 
 /// Cache sizing and switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,9 +50,18 @@ impl Default for CacheConfig {
     }
 }
 
+struct Entry {
+    /// The cached canonical response bytes.
+    value: String,
+    /// FNV-1a 64 of `value` at insert time; verified on every hit.
+    checksum: u64,
+    /// Last-touch tick (LRU recency).
+    last: u64,
+}
+
 struct Shard {
-    /// Canonical key → (response bytes, last-touch tick).
-    entries: HashMap<String, (String, u64)>,
+    /// Canonical key → entry.
+    entries: HashMap<String, Entry>,
     /// Recency clock, bumped on every touch.
     tick: u64,
 }
@@ -51,6 +70,9 @@ struct Shard {
 pub struct ResultCache {
     cfg: CacheConfig,
     shards: Vec<Mutex<Shard>>,
+    /// Entries whose checksum failed verification on lookup (evicted and
+    /// reported as misses).
+    poisoned_detected: AtomicU64,
 }
 
 impl ResultCache {
@@ -67,6 +89,7 @@ impl ResultCache {
                     })
                 })
                 .collect(),
+            poisoned_detected: AtomicU64::new(0),
         }
     }
 
@@ -75,8 +98,15 @@ impl ResultCache {
         &self.shards[i]
     }
 
+    /// Number of shards actually allocated.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Looks up a canonical key, refreshing its recency on hit. Always
-    /// misses when the cache is disabled.
+    /// misses when the cache is disabled. An entry whose checksum no
+    /// longer matches its bytes is evicted and reported as a miss (the
+    /// caller recomputes, producing identical bytes).
     pub fn get(&self, key: &str) -> Option<String> {
         if !self.cfg.enabled {
             return None;
@@ -84,9 +114,15 @@ impl ResultCache {
         let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
-        let (value, last) = shard.entries.get_mut(key)?;
-        *last = tick;
-        Some(value.clone())
+        let entry = shard.entries.get_mut(key)?;
+        if fnv1a64(entry.value.as_bytes()) != entry.checksum {
+            shard.entries.remove(key);
+            self.poisoned_detected.fetch_add(1, Ordering::Relaxed);
+            intertubes_obs::counter("serve.cache_poisoned", 1);
+            return None;
+        }
+        entry.last = tick;
+        Some(entry.value.clone())
     }
 
     /// Stores a response under its canonical key, evicting the shard's
@@ -100,14 +136,21 @@ impl ResultCache {
         let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
-        shard.entries.insert(key.to_string(), (value.to_string(), tick));
+        shard.entries.insert(
+            key.to_string(),
+            Entry {
+                value: value.to_string(),
+                checksum: fnv1a64(value.as_bytes()),
+                last: tick,
+            },
+        );
         while shard.entries.len() > cap {
             // Oldest tick; ties broken by key so eviction is deterministic
             // even if the clock ever stalls.
             let victim = shard
                 .entries
                 .iter()
-                .min_by(|(ka, (_, ta)), (kb, (_, tb))| ta.cmp(tb).then_with(|| ka.cmp(kb)))
+                .min_by(|(ka, ea), (kb, eb)| ea.last.cmp(&eb.last).then_with(|| ka.cmp(kb)))
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(k) => {
@@ -116,6 +159,35 @@ impl ResultCache {
                 None => break,
             }
         }
+    }
+
+    /// Chaos hook: silently corrupts **every** entry of shard
+    /// `shard_index` (first byte XOR `0x80`, checksum left stale), and
+    /// returns how many entries were touched. Corrupting the whole shard
+    /// — rather than a sampled subset — keeps the injection independent of
+    /// `HashMap` iteration order, so the detected-poison counts stay
+    /// deterministic. A no-op when the cache is disabled.
+    pub fn poison_shard(&self, shard_index: usize) -> usize {
+        if !self.cfg.enabled || self.shards.is_empty() {
+            return 0;
+        }
+        let shard = &self.shards[shard_index % self.shards.len()];
+        let mut shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        let mut touched = 0;
+        for entry in shard.entries.values_mut() {
+            let mut bytes = std::mem::take(&mut entry.value).into_bytes();
+            if let Some(b) = bytes.first_mut() {
+                *b ^= 0x80;
+                touched += 1;
+            }
+            entry.value = String::from_utf8_lossy(&bytes).into_owned();
+        }
+        touched
+    }
+
+    /// Poisoned entries detected (and evicted) by [`ResultCache::get`].
+    pub fn poisoned_detected(&self) -> u64 {
+        self.poisoned_detected.load(Ordering::Relaxed)
     }
 
     /// Total entries across shards.
@@ -177,6 +249,7 @@ mod tests {
         cache.insert("k", "v");
         assert_eq!(cache.get("k"), None);
         assert!(cache.is_empty());
+        assert_eq!(cache.poison_shard(0), 0);
     }
 
     #[test]
@@ -186,5 +259,23 @@ mod tests {
         cache.insert("k", "new");
         assert_eq!(cache.get("k").as_deref(), Some("new"));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_entries_are_detected_and_evicted() {
+        let cache = tiny(1, 8);
+        cache.insert("a", "{\"v\":1}");
+        cache.insert("b", "{\"v\":2}");
+        assert_eq!(cache.poison_shard(0), 2);
+        // Entries are still present but corrupt; the next lookup detects
+        // the checksum mismatch, evicts, and misses.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.poisoned_detected(), 2);
+        assert!(cache.is_empty());
+        // Re-inserting restores normal service.
+        cache.insert("a", "{\"v\":1}");
+        assert_eq!(cache.get("a").as_deref(), Some("{\"v\":1}"));
     }
 }

@@ -13,9 +13,15 @@
 //! * [`engine`] — a pure query engine answering typed [`query::Query`]
 //!   requests (per-provider risk, similarity, pair latency, top-shared
 //!   rankings, conduit-cut what-ifs) from the snapshot alone;
-//! * [`cache`] — a sharded LRU over canonical query keys;
+//! * [`cache`] — a sharded LRU over canonical query keys, with per-entry
+//!   checksums that turn silent corruption into deterministic misses;
 //! * [`scheduler`] — bounded-queue wave scheduling with admission
-//!   control, deadline accounting, and obs metrics.
+//!   control, deadline accounting, and obs metrics;
+//! * [`chaos`] — runtime fault injection (`ChaosSession` over the
+//!   `FaultPlan` runtime families), crash-safe snapshot persistence
+//!   (temp-write → verify → fsync → atomic rename, with `.tmp`/`.bak`
+//!   salvage), deterministic virtual retry/backoff, and the
+//!   `Ready`/`Degraded`/`Draining` health machine (DESIGN.md §11).
 //!
 //! The whole stack extends the workspace determinism contract: for a
 //! fixed snapshot and workload, the response vector is **byte-identical
@@ -26,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod index;
 pub mod query;
@@ -34,11 +41,16 @@ pub mod snapshot;
 pub mod workload;
 
 pub use cache::{CacheConfig, ResultCache};
+pub use chaos::{
+    load_with, save_with, ChaosReport, ChaosSession, FaultClass, Health, HealthTrace,
+    HealthTransition, LoadReport, RealIo, RetryPolicy, SaveReport, ServeError, SnapshotIo,
+};
 pub use engine::QueryEngine;
 pub use index::{build_landmarks, PairPaths, PathIndex, PathSummary};
 pub use query::{canonical_key, key_hash, normalize, Query, Response};
-pub use scheduler::{run_batch, ServeConfig, ServeStats};
+pub use scheduler::{run_batch, run_batch_chaos, ServeConfig, ServeStats};
 pub use snapshot::{
-    fnv1a64, SnapshotError, StudySnapshot, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2,
+    fnv1a64, section_bounds, SectionBounds, SnapshotError, StudySnapshot, SNAPSHOT_MAGIC,
+    SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2,
 };
 pub use workload::{mixed_workload, splitmix64};

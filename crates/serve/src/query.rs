@@ -203,6 +203,18 @@ pub enum Response {
         /// Why.
         reason: String,
     },
+    /// The scheduler shed this query under injected overload or deadline
+    /// pressure (graceful degradation — never a silent drop, mirroring
+    /// [`Response::Rejected`]). Under the lenient policy a stale cached
+    /// answer is served alongside when one exists.
+    Degraded {
+        /// Why the query was shed (deterministic: wave and queue position,
+        /// never wall-clock).
+        reason: String,
+        /// The stale cached canonical response, when the lenient policy
+        /// found one to serve.
+        stale: Option<String>,
+    },
 }
 
 impl Response {
@@ -258,6 +270,14 @@ mod tests {
         let text = r.to_canonical_json();
         let back: Response = serde_json::from_str(&text).unwrap();
         assert_eq!(r, back);
+
+        let d = Response::Degraded {
+            reason: "overload burst: wave 3 shed from position 2".into(),
+            stale: Some("{\"cached\":true}".into()),
+        };
+        let text = d.to_canonical_json();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(d, back);
     }
 
     #[test]

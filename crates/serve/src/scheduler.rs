@@ -22,6 +22,16 @@
 //! with the cache on or off. Wall-clock measurements (per-query latency,
 //! deadline overruns) feed the stats and obs metrics only — they never
 //! influence a response.
+//!
+//! Under an active [`ChaosSession`] ([`run_batch_chaos`]) the wave loop
+//! gains two serial chaos hooks — cache poisoning and overload bursts —
+//! and a graceful-degradation tier: an overloaded wave is shed
+//! **deterministically by queue position** into
+//! [`Response::Degraded`] answers (stale-cache-served under the lenient
+//! policy), never silently dropped. Chaos decisions only happen in the
+//! serial phases, so the chaos determinism contract holds: same plan +
+//! seed ⇒ byte-identical responses, ledger, and health trace at any
+//! thread count.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -30,6 +40,7 @@ use intertubes_parallel::par_map;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheConfig, ResultCache};
+use crate::chaos::{ChaosReport, ChaosSession, HealthTrace};
 use crate::engine::QueryEngine;
 use crate::query::{canonical_key, Query, Response};
 
@@ -85,6 +96,11 @@ pub struct ServeStats {
     pub waves: usize,
     /// Admitted queries whose service latency exceeded the deadline.
     pub deadline_overruns: usize,
+    /// Queries shed into degraded responses under injected overload.
+    pub degraded: usize,
+    /// Degraded responses that carried a stale cached answer (lenient
+    /// policy only).
+    pub stale_served: usize,
     /// Whole-batch wall time, ms.
     pub wall_ms: f64,
 }
@@ -95,6 +111,9 @@ enum Slot {
     Hit(String, u64),
     /// Computed: index into the wave's unique-compute list.
     Compute(usize),
+    /// Shed under injected overload: the degraded response bytes, plus
+    /// the (stale-)lookup latency in µs.
+    Shed(String, u64),
 }
 
 /// Serves `queries` against `engine`, returning one canonical-JSON
@@ -109,6 +128,32 @@ pub fn run_batch(
     cfg: &ServeConfig,
     cache: &ResultCache,
 ) -> (Vec<String>, ServeStats) {
+    let (responses, stats, _) = serve_batch(engine, queries, cfg, cache, None);
+    (responses, stats)
+}
+
+/// [`run_batch`] under an active chaos session: the wave loop consults
+/// the session's overload/poison hooks (serial phases only) and the
+/// returned [`ChaosReport`] carries the injection ledger, health trace,
+/// and degradation counts — the byte-compared chaos artifact.
+pub fn run_batch_chaos(
+    engine: &QueryEngine,
+    queries: &[Query],
+    cfg: &ServeConfig,
+    cache: &ResultCache,
+    chaos: &ChaosSession,
+) -> (Vec<String>, ServeStats, ChaosReport) {
+    serve_batch(engine, queries, cfg, cache, Some(chaos))
+}
+
+/// The shared wave loop behind [`run_batch`] and [`run_batch_chaos`].
+fn serve_batch(
+    engine: &QueryEngine,
+    queries: &[Query],
+    cfg: &ServeConfig,
+    cache: &ResultCache,
+    chaos: Option<&ChaosSession>,
+) -> (Vec<String>, ServeStats, ChaosReport) {
     let t0 = Instant::now();
     let queue_capacity = cfg.queue_capacity.max(1);
     let admitted = queries.len().min(cfg.admit_max);
@@ -125,12 +170,15 @@ pub fn run_batch(
     let rejected = queries.len() - admitted;
     intertubes_obs::counter("serve.rejected", rejected as u64);
 
+    let lenient = chaos.map_or(true, |c| !c.policy().is_strict());
     let mut latencies: Vec<u64> = Vec::with_capacity(admitted);
     let mut cache_hits = 0usize;
     let mut cache_misses = 0usize;
     let mut deadline_overruns = 0usize;
     let mut max_queue_depth = 0usize;
     let mut waves = 0usize;
+    let mut degraded = 0usize;
+    let mut stale_served = 0usize;
 
     let mut wave_start = 0usize;
     while wave_start < admitted {
@@ -140,6 +188,21 @@ pub fn run_batch(
         max_queue_depth = max_queue_depth.max(depth);
         intertubes_obs::gauge("serve.queue_depth", depth as i64);
 
+        // Chaos hooks (serial, before any lookup): poison a cache shard,
+        // then decide whether an overload burst sheds this wave's tail.
+        // Both are functions of (plan, seed, wave) — never of timing.
+        let mut wave_injected = false;
+        let mut shed_from: Option<usize> = None;
+        if let Some(session) = chaos {
+            if session.poison_cache(waves as u64, cache) > 0 {
+                wave_injected = true;
+            }
+            shed_from = session.overload_burst(waves as u64, depth);
+            if shed_from.is_some() {
+                wave_injected = true;
+            }
+        }
+
         // Phase 1 — decide (serial): cache lookups and in-wave dedup.
         let mut slots: Vec<Slot> = Vec::with_capacity(depth);
         // Unique computations: (canonical key, index of first query).
@@ -147,6 +210,26 @@ pub fn run_batch(
         let mut pending: HashMap<String, usize> = HashMap::new();
         for qi in wave_start..wave_end {
             let key = canonical_key(&queries[qi]);
+            // Graceful-degradation tier: shed by queue position. Never a
+            // silent drop — the query gets a Degraded response, with the
+            // stale cached answer attached under the lenient policy.
+            if let Some(sf) = shed_from {
+                if qi - wave_start >= sf {
+                    let lookup_t0 = Instant::now();
+                    let stale = if lenient { cache.get(&key) } else { None };
+                    if stale.is_some() {
+                        stale_served += 1;
+                    }
+                    degraded += 1;
+                    let json = Response::Degraded {
+                        reason: format!("overload burst: wave {waves} shed from position {sf}"),
+                        stale,
+                    }
+                    .to_canonical_json();
+                    slots.push(Slot::Shed(json, lookup_t0.elapsed().as_micros() as u64));
+                    continue;
+                }
+            }
             let lookup_t0 = Instant::now();
             if let Some(hit) = cache.get(&key) {
                 cache_hits += 1;
@@ -190,6 +273,10 @@ pub fn run_batch(
                     responses[qi] = json.clone();
                     *us
                 }
+                Slot::Shed(json, us) => {
+                    responses[qi] = json;
+                    us
+                }
             };
             latencies.push(us);
             intertubes_obs::histogram("serve.latency_us", us);
@@ -201,12 +288,17 @@ pub fn run_batch(
         for ((key, _), (json, _)) in unique.iter().zip(&computed) {
             cache.insert(key, json);
         }
+        if let Some(session) = chaos {
+            session.end_wave(waves as u64, wave_injected);
+        }
 
         wave_start = wave_end;
     }
 
     intertubes_obs::counter("serve.cache_hits", cache_hits as u64);
     intertubes_obs::counter("serve.cache_misses", cache_misses as u64);
+    intertubes_obs::counter("serve.degraded", degraded as u64);
+    intertubes_obs::counter("serve.stale_served", stale_served as u64);
 
     latencies.sort_unstable();
     let quantile = |q: f64| -> u64 {
@@ -228,7 +320,39 @@ pub fn run_batch(
         max_queue_depth,
         waves,
         deadline_overruns,
+        degraded,
+        stale_served,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
     };
-    (responses, stats)
+
+    let report = match chaos {
+        Some(session) => {
+            session.drain(waves as u64);
+            let mut report = session.report();
+            report.degraded = degraded;
+            report.stale_served = stale_served;
+            report.cache_poison_detected = cache.poisoned_detected();
+            report
+        }
+        None => {
+            // No chaos session: the health machine still runs its
+            // lifecycle (Ready → Draining) so clean serves surface a
+            // health trace too.
+            let mut health = HealthTrace::new();
+            health.drain(waves as u64);
+            ChaosReport {
+                ledger: intertubes_faults::InjectionLedger::new(),
+                transitions: health.transitions().to_vec(),
+                final_health: health.state(),
+                virtual_stall_us: 0,
+                degraded,
+                stale_served,
+                cache_poison_detected: cache.poisoned_detected(),
+                load_attempts: 0,
+                load_backoff_us: 0,
+                salvaged_from: None,
+            }
+        }
+    };
+    (responses, stats, report)
 }

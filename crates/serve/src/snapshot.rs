@@ -148,6 +148,66 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+impl SnapshotError {
+    /// Classifies the failure for the retry machinery (DESIGN.md §11):
+    /// I/O errors are transient (an open/read may succeed on retry);
+    /// everything structural — truncation, bad magic, checksum or schema
+    /// mismatches, parse failures — is fatal for the file that produced
+    /// it, and the loader moves on to a salvage candidate instead of
+    /// retrying.
+    pub fn class(&self) -> crate::chaos::FaultClass {
+        match self {
+            SnapshotError::Io(_) => crate::chaos::FaultClass::Transient,
+            _ => crate::chaos::FaultClass::Fatal,
+        }
+    }
+}
+
+/// Byte extents of a container's sections, used by the chaos layer to aim
+/// bit-flips at a named section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionBounds {
+    /// The header JSON: `[start, end)`.
+    pub header: (usize, usize),
+    /// The payload JSON: `[start, end)`.
+    pub payload: (usize, usize),
+    /// The v2 landmarks section, when the header declares one.
+    pub landmarks: Option<(usize, usize)>,
+}
+
+/// Best-effort section extents of `bytes`, without validating checksums.
+/// Extents are clamped to the buffer, so they are always safe to index;
+/// returns `None` when the container is too mangled to even locate its
+/// header.
+pub fn section_bounds(bytes: &[u8]) -> Option<SectionBounds> {
+    if bytes.len() < 16 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&bytes[8..16]);
+    let header_len = u64::from_le_bytes(len8) as usize;
+    let header_end = 16usize.saturating_add(header_len).min(bytes.len());
+    let header_text = std::str::from_utf8(&bytes[16..header_end]).ok()?;
+    let header: serde_json::Value = serde_json::from_str(header_text).ok()?;
+    let payload_len = header.get("payload_len").and_then(|v| v.as_u64())? as usize;
+    let payload_end = header_end.saturating_add(payload_len).min(bytes.len());
+    let landmarks = header
+        .get("landmarks_len")
+        .and_then(|v| v.as_u64())
+        .map(|len| {
+            (
+                payload_end,
+                payload_end.saturating_add(len as usize).min(bytes.len()),
+            )
+        })
+        .filter(|(start, end)| end > start);
+    Some(SectionBounds {
+        header: (16, header_end),
+        payload: (header_end, payload_end),
+        landmarks,
+    })
+}
+
 /// A frozen study: everything the serving layer answers queries from.
 ///
 /// The configuration rides along as an opaque JSON value (not a typed
@@ -370,16 +430,36 @@ impl StudySnapshot {
         })
     }
 
-    /// Writes the container to `path`.
+    /// Writes the container to `path` **crash-safely**: the bytes go to
+    /// `<path>.tmp` first, are fsynced and verified by re-read, the
+    /// previous file (if any) is preserved as `<path>.bak`, and only then
+    /// does an atomic rename publish the new file. A crash at any point
+    /// leaves a loadable snapshot on disk (old or new, never torn) — see
+    /// [`crate::chaos::save_with`] for the full protocol and the
+    /// fault-injected variant.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        let bytes = self.to_bytes()?;
-        std::fs::write(path, bytes).map_err(|e| SnapshotError::Io(e.to_string()))
+        crate::chaos::save_with(
+            &crate::chaos::RealIo,
+            self,
+            path.as_ref(),
+            &crate::chaos::RetryPolicy::lenient(),
+        )
+        .map(|_| ())
+        .map_err(|e| e.into_snapshot_error())
     }
 
-    /// Reads a container from `path`.
+    /// Reads a container from `path`, salvaging `<path>.tmp` (a completed
+    /// but unpublished save) or `<path>.bak` (the previous good snapshot)
+    /// when the primary file is corrupt or missing — see
+    /// [`crate::chaos::load_with`].
     pub fn load(path: impl AsRef<Path>) -> Result<StudySnapshot, SnapshotError> {
-        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
-        StudySnapshot::from_bytes(&bytes)
+        crate::chaos::load_with(
+            &crate::chaos::RealIo,
+            path.as_ref(),
+            &crate::chaos::RetryPolicy::lenient(),
+        )
+        .map(|report| report.snapshot)
+        .map_err(|e| e.into_snapshot_error())
     }
 }
 

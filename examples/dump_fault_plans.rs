@@ -1,8 +1,10 @@
-//! Writes every built-in fault scenario as a `<name>.json` plan file.
+//! Writes every built-in fault scenario — the input-facing plans and the
+//! serving-runtime chaos plans — as a `<name>.json` plan file.
 //!
 //! ```sh
 //! cargo run --example dump_fault_plans -- plans/
 //! cargo run --bin intertubes -- --faults plans/dirty-maps.json summary
+//! cargo run --bin intertubes -- serve --snapshot study.snap --chaos plans/flaky-io.json
 //! ```
 
 use intertubes::faults::FaultPlan;
@@ -13,7 +15,10 @@ fn main() {
         eprintln!("cannot create {dir}: {e}");
         std::process::exit(3);
     }
-    for (name, plan) in FaultPlan::built_in_scenarios() {
+    let scenarios = FaultPlan::built_in_scenarios()
+        .into_iter()
+        .chain(FaultPlan::built_in_chaos_scenarios());
+    for (name, plan) in scenarios {
         let path = std::path::Path::new(&dir).join(format!("{name}.json"));
         if let Err(e) = std::fs::write(&path, plan.to_json()) {
             eprintln!("cannot write {}: {e}", path.display());

@@ -1,0 +1,90 @@
+#!/usr/bin/env sh
+# Chaos determinism gate for the serving layer (DESIGN.md §11).
+#
+# Freezes the reference study, then runs every built-in chaos scenario
+# (torn-write, flaky-io, bit-rot, poisoned-cache, overload,
+# chaos-everything) under both degradation policies at 1, 2, and 8
+# threads. For each (scenario, policy) pair, all thread counts must
+# agree on the exit code and — when the run succeeds — produce
+# byte-identical response vectors and chaos reports (injection ledger +
+# health trace). A scenario that deterministically fails to load (e.g.
+# bit-rot under --strict) must fail identically in every arm with the
+# data-error code 3, never a panic.
+#
+# Finally, a crash-safety probe: a `snapshot --chaos torn-write` save
+# against an existing snapshot must leave that snapshot byte-identical
+# and loadable, whether or not the chaotic save succeeds.
+set -eu
+
+WORK=chaos-gate
+REPLAY=2000
+
+cd "$(dirname "$0")/.."
+mkdir -p "$WORK"
+
+cargo build --release -q --bin intertubes
+
+echo "chaos_gate: freezing the reference study..."
+./target/release/intertubes snapshot "$WORK/study.snap"
+# Give the lenient arms a salvage candidate: with a `.bak` present, a
+# fatally corrupted primary read (bit-rot) can fail over instead of
+# exhausting — the same state a second `snapshot` save would leave.
+cp "$WORK/study.snap" "$WORK/study.snap.bak"
+
+fail() {
+    echo "chaos_gate: FAIL — $1" >&2
+    exit 1
+}
+
+for scenario in torn-write flaky-io bit-rot poisoned-cache overload chaos-everything; do
+    for policy in strict lenient; do
+        codes=""
+        for threads in 1 2 8; do
+            arm="$WORK/${scenario}_${policy}_t${threads}"
+            code=0
+            ./target/release/intertubes --"$policy" --threads "$threads" \
+                serve --snapshot "$WORK/study.snap" \
+                --replay "$REPLAY" --queue 64 \
+                --chaos "$scenario" \
+                --chaos-report "$arm.chaos.json" \
+                --out "$arm.jsonl" --stats /dev/null \
+                2> "$arm.stderr" || code=$?
+            [ "$code" -eq 0 ] || [ "$code" -eq 3 ] ||
+                fail "$scenario/$policy/t$threads exited $code (want 0 or 3)"
+            grep -q panicked "$arm.stderr" &&
+                fail "$scenario/$policy/t$threads panicked"
+            codes="$codes $code"
+        done
+        set -- $codes
+        [ "$1" = "$2" ] && [ "$2" = "$3" ] ||
+            fail "$scenario/$policy exit codes diverged across threads:$codes"
+        if [ "$1" -eq 0 ]; then
+            for threads in 2 8; do
+                cmp -s "$WORK/${scenario}_${policy}_t1.jsonl" \
+                       "$WORK/${scenario}_${policy}_t${threads}.jsonl" ||
+                    fail "$scenario/$policy responses diverged at $threads threads"
+                cmp -s "$WORK/${scenario}_${policy}_t1.chaos.json" \
+                       "$WORK/${scenario}_${policy}_t${threads}.chaos.json" ||
+                    fail "$scenario/$policy chaos report diverged at $threads threads"
+            done
+        fi
+        echo "chaos_gate: $scenario/$policy OK (exit $1, byte-identical at 1/2/8 threads)"
+    done
+done
+
+echo "chaos_gate: probing crash-safe save under torn writes..."
+cp "$WORK/study.snap" "$WORK/victim.snap"
+./target/release/intertubes snapshot "$WORK/victim.snap" --chaos torn-write \
+    2> "$WORK/victim.stderr" || true
+grep -q panicked "$WORK/victim.stderr" && fail "chaotic snapshot save panicked"
+# Whatever the chaotic save did, a loadable snapshot must remain: either
+# the original (failed save) or the freshly published one (which is the
+# same deterministic bytes).
+cmp -s "$WORK/study.snap" "$WORK/victim.snap" ||
+    fail "torn-write save corrupted the published snapshot"
+./target/release/intertubes query --snapshot "$WORK/victim.snap" \
+    '{"TopShared":{"k":1}}' > /dev/null ||
+    fail "snapshot unloadable after a chaotic save"
+echo "chaos_gate: published snapshot survived the torn-write save"
+
+echo "chaos_gate: OK"

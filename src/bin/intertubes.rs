@@ -18,8 +18,12 @@
 //! intertubes --trace-json t.jsonl \
 //!            --metrics-out m.json export out/   # structured trace + metrics
 //! intertubes snapshot study.snap       # freeze the study (DESIGN.md §9)
+//! intertubes snapshot study.snap --chaos torn-write
+//!                                      # crash-safe save under injected faults
 //! intertubes serve --snapshot study.snap --replay 10000 \
 //!            --out responses.jsonl     # replay a mixed workload
+//! intertubes serve --snapshot study.snap --chaos flaky-io \
+//!            --chaos-report chaos.json # runtime fault injection (DESIGN.md §11)
 //! intertubes query --snapshot study.snap '{"TopShared":{"k":8}}'
 //! ```
 //!
@@ -76,7 +80,10 @@ fn usage() -> ! {
            annotated <out>        traffic/delay/risk-annotated GeoJSON (10k probes)\n\
            whatif <out>           section-4 metrics before/after the eq.-2 plan\n\
            export <dir>           write all of the above into a directory\n\
-           snapshot <out>         freeze the study into a serving snapshot\n\
+           snapshot <out> [--chaos <plan>]\n\
+                                  freeze the study into a serving snapshot\n\
+                                  (crash-safe save; --chaos injects runtime\n\
+                                  faults from a plan file or built-in name)\n\
            serve --snapshot <path> [serve flags]\n\
                                   replay a deterministic mixed workload\n\
            query --snapshot <path> <query-json>\n\
@@ -89,7 +96,12 @@ fn usage() -> ! {
            --deadline-us N        per-query latency deadline (0 = none)\n\
            --no-cache             disable the result cache\n\
            --out <path>           responses as JSON Lines (default stdout)\n\
-           --stats <path>         batch stats JSON (default stdout)"
+           --stats <path>         batch stats JSON (default stdout)\n\
+           --chaos <plan>         runtime fault plan: a JSON file or a built-in\n\
+                                  chaos scenario name (torn-write, flaky-io,\n\
+                                  bit-rot, poisoned-cache, overload,\n\
+                                  chaos-everything)\n\
+           --chaos-report <path>  chaos report (ledger + health trace) JSON"
     );
     std::process::exit(2);
 }
@@ -215,6 +227,8 @@ struct ServeOpts {
     cache: bool,
     out: Option<String>,
     stats: Option<String>,
+    chaos: Option<String>,
+    chaos_report: Option<String>,
 }
 
 fn parse_serve_opts(rest: &[String]) -> ServeOpts {
@@ -228,6 +242,8 @@ fn parse_serve_opts(rest: &[String]) -> ServeOpts {
         cache: true,
         out: None,
         stats: None,
+        chaos: None,
+        chaos_report: None,
     };
     let mut i = 0;
     let value = |rest: &[String], i: usize| -> String {
@@ -277,6 +293,14 @@ fn parse_serve_opts(rest: &[String]) -> ServeOpts {
                 opts.stats = Some(value(rest, i));
                 i += 2;
             }
+            "--chaos" => {
+                opts.chaos = Some(value(rest, i));
+                i += 2;
+            }
+            "--chaos-report" => {
+                opts.chaos_report = Some(value(rest, i));
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -294,8 +318,9 @@ fn main() {
     // --trace-json / --metrics-out.
     let session = obs::Session::begin(ObsConfig::from_env().with_echo());
     let mut fault_plan_doc: Option<serde_json::Value> = None;
+    let mut health_doc: Option<serde_json::Value> = None;
     let mut topology: Option<TopologyCounts> = None;
-    let exit_status = match run(&inv, &mut fault_plan_doc, &mut topology) {
+    let exit_status = match run(&inv, &mut fault_plan_doc, &mut health_doc, &mut topology) {
         Ok(()) => 0,
         Err(msg) => {
             obs::event(Level::Error, "cli", &format!("error: {msg}"), &[]);
@@ -311,6 +336,7 @@ fn main() {
         fault_plan: fault_plan_doc,
         threads: intertubes::parallel::thread_count(),
         exit_status,
+        health: health_doc,
     };
     let manifest = obs::build_manifest(&info, &record, topology.as_ref());
     let mut sink_failed = false;
@@ -341,12 +367,13 @@ fn main() {
 fn run(
     inv: &Invocation,
     fault_plan_doc: &mut Option<serde_json::Value>,
+    health_doc: &mut Option<serde_json::Value>,
     topology: &mut Option<TopologyCounts>,
 ) -> CliResult<()> {
     // The serving commands answer from a frozen snapshot — no world, no
     // corpus, no pipeline.
     match inv.command.as_str() {
-        "serve" => return run_serve(inv, topology),
+        "serve" => return run_serve(inv, fault_plan_doc, health_doc, topology),
         "query" => return run_query(inv, topology),
         _ => {}
     }
@@ -477,7 +504,33 @@ fn run(
             // Same probe sizing as `annotated`, so the embedded overlay
             // matches the exported artifact.
             let snap = study.snapshot(Some(10_000));
-            snap.save(out).map_err(|e| e.to_string())?;
+            // Optional `--chaos <plan>` after the operand: route the
+            // crash-safe save through an injecting ChaosSession. A failed
+            // save (exit 3) must leave any previous snapshot loadable.
+            match chaos_session_from_rest(&inv.rest[1..], inv.cfg.policy, fault_plan_doc)? {
+                Some(session) => {
+                    let rep = intertubes::serve::save_with(
+                        &session,
+                        &snap,
+                        Path::new(out),
+                        &session.retry_policy(),
+                    );
+                    *health_doc = Some(session.report().health_value());
+                    let rep = rep.map_err(|e| e.to_string())?;
+                    obs::event(
+                        Level::Info,
+                        "cli",
+                        &format!(
+                            "chaos save: {} attempt(s), {}us virtual backoff",
+                            rep.attempts, rep.backoff_us
+                        ),
+                        &[],
+                    );
+                }
+                None => {
+                    snap.save(out).map_err(|e| e.to_string())?;
+                }
+            }
             wrote(out);
         }
         // parse_args only lets known commands through.
@@ -486,8 +539,65 @@ fn run(
     Ok(())
 }
 
+/// Resolves a `--chaos <spec>` value: a built-in chaos scenario name
+/// first, else a fault-plan JSON file. Returns the plan plus the plan
+/// document embedded in the run manifest.
+fn resolve_chaos_plan(spec: &str) -> CliResult<(FaultPlan, serde_json::Value)> {
+    for (name, plan) in FaultPlan::built_in_chaos_scenarios() {
+        if name == spec {
+            let doc = serde_json::from_str(&plan.to_json()).unwrap_or(serde_json::Value::Null);
+            return Ok((plan, doc));
+        }
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| {
+        format!("--chaos {spec}: not a built-in scenario and cannot read as a file: {e}")
+    })?;
+    let plan =
+        FaultPlan::from_json(&text).map_err(|e| format!("invalid chaos plan {spec}: {e}"))?;
+    let doc = serde_json::from_str(&text).unwrap_or(serde_json::Value::Null);
+    Ok((plan, doc))
+}
+
+/// Parses an optional trailing `--chaos <spec>` (used by `snapshot`,
+/// whose output operand is positional) into a bound session.
+fn chaos_session_from_rest(
+    rest: &[String],
+    policy: DegradationPolicy,
+    fault_plan_doc: &mut Option<serde_json::Value>,
+) -> CliResult<Option<intertubes::serve::ChaosSession>> {
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--chaos" {
+            let spec = it
+                .next()
+                .ok_or_else(|| "--chaos takes a plan file or scenario name".to_string())?;
+            let (plan, doc) = resolve_chaos_plan(spec)?;
+            if fault_plan_doc.is_none() {
+                *fault_plan_doc = Some(doc);
+            }
+            return Ok(Some(intertubes::serve::ChaosSession::new(plan, policy)));
+        }
+    }
+    Ok(None)
+}
+
+/// Fills the manifest topology from a loaded snapshot's map (the serving
+/// commands have no built study).
+fn note_topology(
+    snap: &intertubes::serve::StudySnapshot,
+    topology: &mut Option<TopologyCounts>,
+) {
+    let s = intertubes::map::summarize(&snap.map);
+    *topology = Some(TopologyCounts {
+        nodes: s.nodes,
+        links: s.links,
+        conduits: s.conduits,
+        validated_conduits: s.validated_conduits,
+    });
+}
+
 /// Loads the snapshot named by `--snapshot` and fills the manifest
-/// topology from its map (the serving commands have no built study).
+/// topology from its map.
 fn load_snapshot(
     path: &str,
     topology: &mut Option<TopologyCounts>,
@@ -496,19 +606,55 @@ fn load_snapshot(
     let snap = intertubes::serve::StudySnapshot::load(path).map_err(|e| e.to_string())?;
     span.items("conduits", snap.map.conduits.len());
     span.items("pairs", snap.paths.pairs.len());
-    let s = intertubes::map::summarize(&snap.map);
-    *topology = Some(TopologyCounts {
-        nodes: s.nodes,
-        links: s.links,
-        conduits: s.conduits,
-        validated_conduits: s.validated_conduits,
-    });
+    note_topology(&snap, topology);
     Ok(snap)
 }
 
-fn run_serve(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResult<()> {
+fn run_serve(
+    inv: &Invocation,
+    fault_plan_doc: &mut Option<serde_json::Value>,
+    health_doc: &mut Option<serde_json::Value>,
+    topology: &mut Option<TopologyCounts>,
+) -> CliResult<()> {
     let opts = parse_serve_opts(&inv.rest);
-    let snap = load_snapshot(&opts.snapshot, topology)?;
+    let chaos = match &opts.chaos {
+        Some(spec) => {
+            let (plan, doc) = resolve_chaos_plan(spec)?;
+            if fault_plan_doc.is_none() {
+                *fault_plan_doc = Some(doc);
+            }
+            Some(intertubes::serve::ChaosSession::new(plan, inv.cfg.policy))
+        }
+        None => None,
+    };
+    // Under chaos the load itself is fault-injected: resilient load with
+    // `.tmp`/`.bak` salvage and policy-driven retry. A salvage is a
+    // degradation event, recorded against wave 0 (pre-batch).
+    let (snap, load_info) = match &chaos {
+        Some(session) => {
+            let mut span = obs::stage("serve.load");
+            let report = intertubes::serve::load_with(
+                session,
+                Path::new(&opts.snapshot),
+                &session.retry_policy(),
+            )
+            .map_err(|e| e.to_string())?;
+            span.items("conduits", report.snapshot.map.conduits.len());
+            span.items("pairs", report.snapshot.paths.pairs.len());
+            if report.salvaged() {
+                session.note_degraded(
+                    0,
+                    &format!("salvaged snapshot from {} candidate", report.source),
+                );
+            }
+            let info = (report.source, report.attempts, report.backoff_us);
+            (report.snapshot, Some(info))
+        }
+        None => (load_snapshot(&opts.snapshot, topology)?, None),
+    };
+    if load_info.is_some() {
+        note_topology(&snap, topology);
+    }
     let engine = intertubes::serve::QueryEngine::new(snap);
     let workload = intertubes::serve::mixed_workload(
         engine.snapshot(),
@@ -525,10 +671,26 @@ fn run_serve(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResu
         },
     };
     let cache = intertubes::serve::ResultCache::new(cfg.cache);
-    let (responses, stats) = {
+    let (responses, stats, chaos_report) = {
         let mut span = obs::stage("serve.replay");
         span.items("queries", workload.len());
-        intertubes::serve::run_batch(&engine, &workload, &cfg, &cache)
+        match &chaos {
+            Some(session) => {
+                let (r, s, mut rep) = intertubes::serve::run_batch_chaos(
+                    &engine, &workload, &cfg, &cache, session,
+                );
+                if let Some((source, attempts, backoff)) = load_info {
+                    rep.load_attempts = attempts;
+                    rep.load_backoff_us = backoff;
+                    rep.salvaged_from = (source != "primary").then(|| source.to_string());
+                }
+                (r, s, Some(rep))
+            }
+            None => {
+                let (r, s) = intertubes::serve::run_batch(&engine, &workload, &cfg, &cache);
+                (r, s, None)
+            }
+        }
     };
     let jsonl: String = responses
         .iter()
@@ -557,6 +719,18 @@ fn run_serve(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResu
             obs::event(Level::Info, "serve", &format!("stats: {stats_text}"), &[]);
         }
         None => println!("{stats_text}"),
+    }
+    if let Some(rep) = chaos_report {
+        let text = rep.to_canonical_json();
+        match &opts.chaos_report {
+            Some(path) => {
+                std::fs::write(path, &text)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                wrote(path);
+            }
+            None => obs::event(Level::Info, "serve", &format!("chaos report: {text}"), &[]),
+        }
+        *health_doc = Some(rep.health_value());
     }
     Ok(())
 }

@@ -164,6 +164,7 @@ fn canonical_run(threads: usize) -> (String, String) {
             fault_plan: None,
             threads: intertubes::parallel::thread_count(),
             exit_status: 0,
+            health: None,
         };
         let topology = obs::TopologyCounts {
             nodes: s.nodes,
@@ -223,6 +224,7 @@ fn canonical_faulted_run(
             fault_plan: None,
             threads: intertubes::parallel::thread_count(),
             exit_status,
+            health: None,
         };
         let manifest = obs::build_manifest(&info, &record, None);
         serde_json::to_string(&obs::canonicalize(&manifest))

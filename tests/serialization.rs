@@ -10,7 +10,9 @@
 //!
 //! [`SnapshotError`]: intertubes::serve::SnapshotError
 
-use intertubes::serve::{SnapshotError, StudySnapshot, SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2};
+use intertubes::serve::{
+    section_bounds, SnapshotError, StudySnapshot, SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2,
+};
 use intertubes::{IntertubesError, Study, StudyConfig};
 
 #[test]
@@ -259,6 +261,43 @@ fn wrong_schema_version_is_rejected_by_name() {
     }
 }
 
+/// Truncation at *every* structural boundary of a v2 container — inside
+/// the magic/length prefix, at the header end, mid-payload, at the
+/// payload end (landmarks missing entirely), mid-landmarks, and one byte
+/// short — is always the typed `Truncated` error, never a panic.
+#[test]
+fn truncation_at_every_section_boundary_is_typed_never_a_panic() {
+    let bytes = tiny_snapshot().to_bytes().unwrap();
+    let bounds = section_bounds(&bytes).expect("a fresh container must locate its sections");
+    let (_, header_end) = bounds.header;
+    let (payload_start, payload_end) = bounds.payload;
+    let (lm_start, lm_end) = bounds.landmarks.expect("tiny_snapshot is v2");
+    assert_eq!(lm_end, bytes.len(), "landmarks are the container tail");
+    let cuts = [
+        0,
+        7,                                  // inside the magic
+        8,                                  // magic only
+        15,                                 // inside the header-length word
+        16,                                 // prefix only, no header
+        (16 + header_end) / 2,              // mid-header
+        header_end,                         // header only, no payload
+        (payload_start + payload_end) / 2,  // mid-payload
+        payload_end,                        // payload only, no landmarks
+        (lm_start + lm_end) / 2,            // mid-landmarks
+        bytes.len() - 1,                    // one byte short
+    ];
+    for cut in cuts {
+        match StudySnapshot::from_bytes(&bytes[..cut]) {
+            Err(SnapshotError::Truncated { needed, have }) => {
+                assert_eq!(have, cut, "cut at {cut}: wrong `have`");
+                assert!(needed > cut, "cut at {cut}: needed {needed} not past the cut");
+            }
+            Err(other) => panic!("cut at {cut}: expected Truncated, got {other}"),
+            Ok(_) => panic!("cut at {cut}: a truncated container must not load"),
+        }
+    }
+}
+
 #[test]
 fn truncated_container_reports_how_much_is_missing() {
     let bytes = container_with_schema(SNAPSHOT_SCHEMA);
@@ -292,12 +331,16 @@ fn cli_rejects_bad_snapshots_with_exit_3() {
     let mut v2_corrupt = v2.clone();
     let last = v2_corrupt.len() - 1;
     v2_corrupt[last] ^= 0x20; // flip a bit inside the landmarks section
+    let bounds = section_bounds(&v2).unwrap();
     let cases = [
         ("notsnap.bin", b"this is not a snapshot".to_vec()),
         ("wrong_schema.snap", container_with_schema("intertubes-snapshot/v9")),
         ("truncated.snap", container_with_schema(SNAPSHOT_SCHEMA)[..12].to_vec()),
         ("corrupt_landmarks.snap", v2_corrupt),
         ("truncated_landmarks.snap", v2[..v2.len() - 1].to_vec()),
+        // Truncation at each structural boundary.
+        ("cut_at_header_end.snap", v2[..bounds.header.1].to_vec()),
+        ("cut_at_payload_end.snap", v2[..bounds.payload.1].to_vec()),
     ];
     for (name, bytes) in cases {
         let path = dir.join(name);
