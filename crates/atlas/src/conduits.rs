@@ -300,14 +300,14 @@ pub fn build_conduit_system(
                     // far enough that map construction can tell them apart.
                     let side = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
                     let offset_km = side * rng.gen_range(5.0..9.0);
-                    (
-                        RowType::Road,
-                        drafts[src]
-                            .geometry
-                            .densify(40.0)
-                            .expect("positive step")
-                            .offset_parallel(offset_km),
-                    )
+                    // densify cannot refuse a positive constant step; fall
+                    // back to the raw geometry rather than panic if it ever
+                    // does.
+                    let base = drafts[src]
+                        .geometry
+                        .densify(40.0)
+                        .unwrap_or_else(|_| drafts[src].geometry.clone());
+                    (RowType::Road, base.offset_parallel(offset_km))
                 };
             let parent_attr = attr[src];
             drafts.push(Draft {

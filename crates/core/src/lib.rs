@@ -29,7 +29,8 @@
 //! ```
 //!
 //! The sub-crates are re-exported as modules: [`geo`], [`graph`], [`atlas`],
-//! [`records`], [`map`], [`probes`], [`risk`], [`mitigation`], [`serve`].
+//! [`records`], [`map`], [`probes`], [`risk`], [`mitigation`],
+//! [`scenario`], [`serve`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,4 +53,5 @@ pub use intertubes_parallel as parallel;
 pub use intertubes_probes as probes;
 pub use intertubes_records as records;
 pub use intertubes_risk as risk;
+pub use intertubes_scenario as scenario;
 pub use intertubes_serve as serve;

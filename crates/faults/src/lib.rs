@@ -607,6 +607,23 @@ impl InjectionLedger {
 // Published-map injectors
 // ---------------------------------------------------------------------------
 
+/// The family's effective rate, or `None` when the family is a no-op for
+/// this plan. A rate of exactly `0.0` is a *legal* spec (a disabled
+/// family, pinned by `zero_rate_specs_are_no_ops`) and must inject
+/// nothing; the debug assertion pins the complementary invariant that a
+/// rate surviving this gate is a usable Bernoulli parameter.
+fn active_rate(plan: &FaultPlan, family: FaultFamily) -> Option<f64> {
+    let rate = plan.rate(family);
+    if rate <= 0.0 {
+        return None;
+    }
+    debug_assert!(
+        rate > 0.0 && rate <= 1.0,
+        "injector rate for {family:?} escaped the [0, 1] clamp: {rate}"
+    );
+    Some(rate)
+}
+
 /// Perturbs published ISP maps in place according to `plan`.
 ///
 /// Families applied (each from its own RNG stream, in a fixed order so the
@@ -633,10 +650,9 @@ fn poison_coordinates(
     ledger: &mut InjectionLedger,
     family: FaultFamily,
 ) {
-    let rate = plan.rate(family);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, family) else {
         return;
-    }
+    };
     let mut rng = plan.rng(family);
     let mut touched = 0;
     for map in maps.iter_mut() {
@@ -668,10 +684,9 @@ fn poison_coordinates(
 
 /// Removes the geometry from selected links of geocoded maps.
 fn strip_geometry(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut InjectionLedger) {
-    let rate = plan.rate(FaultFamily::StripGeometry);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::StripGeometry) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::StripGeometry);
     let mut touched = 0;
     for map in maps.iter_mut() {
@@ -693,10 +708,9 @@ fn strip_geometry(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut Inje
 /// repair these without ever touching legitimate multi-conduit
 /// publications in PoP-only maps.
 fn duplicate_links(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut InjectionLedger) {
-    let rate = plan.rate(FaultFamily::DuplicateLinks);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::DuplicateLinks) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::DuplicateLinks);
     let mut touched = 0;
     for map in maps.iter_mut() {
@@ -714,10 +728,9 @@ fn duplicate_links(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut Inj
 
 /// Deletes selected links outright (the map is silently incomplete).
 fn drop_links(maps: &mut [PublishedMap], plan: &FaultPlan, ledger: &mut InjectionLedger) {
-    let rate = plan.rate(FaultFamily::DropLinks);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::DropLinks) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::DropLinks);
     let mut touched = 0;
     for map in maps.iter_mut() {
@@ -750,10 +763,9 @@ pub fn inject_corpus(corpus: &Corpus, plan: &FaultPlan, ledger: &mut InjectionLe
 /// Garbles the city labels (and body text) of selected documents so that
 /// no city resolves; the document becomes noise a sanitizer must detect.
 fn corrupt_documents(docs: &mut [Document], plan: &FaultPlan, ledger: &mut InjectionLedger) {
-    let rate = plan.rate(FaultFamily::CorruptDocuments);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::CorruptDocuments) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::CorruptDocuments);
     let mut touched = 0;
     for doc in docs.iter_mut() {
@@ -781,10 +793,9 @@ fn corrupt_documents(docs: &mut [Document], plan: &FaultPlan, ledger: &mut Injec
 /// new document names the same city pair but claims a different
 /// right-of-way type.
 fn contradict_documents(docs: &mut Vec<Document>, plan: &FaultPlan, ledger: &mut InjectionLedger) {
-    let rate = plan.rate(FaultFamily::ContradictoryDocuments);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::ContradictoryDocuments) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::ContradictoryDocuments);
     let mut added: Vec<Document> = Vec::new();
     let mut next_id = docs.iter().map(|d| d.id.0).max().map_or(0, |m| m + 1);
@@ -842,10 +853,9 @@ pub fn inject_campaign(
 /// Drops the tail of selected traces, as if the probe timed out mid-path.
 /// Traces may end up with zero hops; the overlay must tolerate that.
 fn truncate_traces(campaign: &mut Campaign, plan: &FaultPlan, ledger: &mut InjectionLedger) {
-    let rate = plan.rate(FaultFamily::TruncateTraces);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::TruncateTraces) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::TruncateTraces);
     let mut touched = 0;
     for trace in &mut campaign.traces {
@@ -867,8 +877,10 @@ fn misgeolocate_hops(
     plan: &FaultPlan,
     ledger: &mut InjectionLedger,
 ) {
-    let rate = plan.rate(FaultFamily::MisgeolocateHops);
-    if rate <= 0.0 || city_count == 0 {
+    let Some(rate) = active_rate(plan, FaultFamily::MisgeolocateHops) else {
+        return;
+    };
+    if city_count == 0 {
         return;
     }
     let mut rng = plan.rng(FaultFamily::MisgeolocateHops);
@@ -899,10 +911,9 @@ fn corrupt_trace_endpoints(
     plan: &FaultPlan,
     ledger: &mut InjectionLedger,
 ) {
-    let rate = plan.rate(FaultFamily::CorruptTraceEndpoints);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::CorruptTraceEndpoints) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::CorruptTraceEndpoints);
     let mut touched = 0;
     for trace in &mut campaign.traces {
@@ -935,10 +946,9 @@ pub fn inject_transport(
     plan: &FaultPlan,
     ledger: &mut InjectionLedger,
 ) {
-    let rate = plan.rate(FaultFamily::DisconnectTransport);
-    if rate <= 0.0 {
+    let Some(rate) = active_rate(plan, FaultFamily::DisconnectTransport) else {
         return;
-    }
+    };
     let mut rng = plan.rng(FaultFamily::DisconnectTransport);
     let mut touched = 0;
     let mut rebuilt: MultiGraph<CityId, CorridorEdge> = MultiGraph::new();
@@ -1003,6 +1013,35 @@ mod tests {
             .with(FaultFamily::DropLinks, 0.6);
         assert_eq!(plan.rate(FaultFamily::DropLinks), 1.0);
         assert!(FaultPlan::new(1).with(FaultFamily::DropLinks, -1.0).is_empty());
+    }
+
+    #[test]
+    fn zero_rate_specs_are_no_ops() {
+        // Rate exactly 0.0 is a legal spec — a disabled family — and must
+        // validate, round-trip, and inject nothing (the injectors' shared
+        // `active_rate` gate turns it into an early return).
+        let mut plan = FaultPlan::new(7);
+        for family in FaultFamily::ALL {
+            plan = plan.with(family, 0.0);
+        }
+        assert!(plan.validate().is_ok(), "zero rates must validate");
+        assert!(plan.is_empty(), "all-zero plan perturbs nothing");
+        assert!(!plan.has_runtime_faults());
+        assert_eq!(FaultPlan::from_json(&plan.to_json()).unwrap(), plan);
+        for family in FaultFamily::ALL {
+            assert_eq!(active_rate(&plan, family), None);
+        }
+
+        let pristine = sample_maps();
+        let mut maps = sample_maps();
+        let mut ledger = InjectionLedger::new();
+        inject_published_maps(&mut maps, &plan, &mut ledger);
+        assert_eq!(
+            format!("{maps:?}"),
+            format!("{pristine:?}"),
+            "zero-rate injection must leave the maps untouched"
+        );
+        assert_eq!(ledger.total(), 0, "zero-rate injection must log nothing");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use distance::{
 };
 pub use grid::{GridStats, SegmentGrid, SegmentHit};
 pub use overlap::{ColocationBreakdown, CorridorIndex, CorridorLayer, OverlapParams};
-pub use point::GeoPoint;
+pub use point::{point_in_ring, GeoPoint};
 pub use polyline::Polyline;
 pub use projection::LocalProjection;
 

@@ -92,6 +92,39 @@ impl GeoPoint {
     }
 }
 
+/// Even-odd (ray-casting) containment test of `p` against a polygon ring
+/// in the lat/lon plane.
+///
+/// `ring` lists the vertices without requiring the closing repeat (a
+/// trailing vertex equal to the first is harmless: the zero-length edge
+/// never toggles the crossing parity). The test is planar — adequate for
+/// regional (e.g. CONUS) footprints away from the poles and the
+/// antimeridian, where treating degrees as planar coordinates preserves
+/// topology. Points exactly on an edge may land on either side; callers
+/// needing closed semantics should buffer the ring.
+pub fn point_in_ring(p: &GeoPoint, ring: &[GeoPoint]) -> bool {
+    if ring.len() < 3 {
+        return false;
+    }
+    let mut inside = false;
+    let mut j = ring.len() - 1;
+    for i in 0..ring.len() {
+        let (vi, vj) = (&ring[i], &ring[j]);
+        // Half-open vertical test per edge: each crossing of the
+        // horizontal ray through `p.lat` toggles parity exactly once,
+        // including at shared vertices.
+        if (vi.lat > p.lat) != (vj.lat > p.lat) {
+            let t = (p.lat - vi.lat) / (vj.lat - vi.lat);
+            let lon_at = vi.lon + t * (vj.lon - vi.lon);
+            if p.lon < lon_at {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
 impl std::fmt::Display for GeoPoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "({:.4}, {:.4})", self.lat, self.lon)

@@ -1,0 +1,210 @@
+//! Footprint containment and per-conduit exposure (DESIGN.md §12.2).
+//!
+//! A conduit is exposed to a hazard when any sampled point of its
+//! geometry falls inside the footprint; its failure probability is the
+//! plan's [`HazardModel`] evaluated at the conduit's closest sampled
+//! approach to the hazard center. Everything here is a pure function of
+//! the plan and the frozen map — no RNG, no I/O — so the exposure table
+//! is computed once per evaluation and shared read-only by every draw.
+
+use intertubes_geo::{point_in_ring, GeoPoint};
+use intertubes_map::FiberMap;
+
+use crate::dsl::{Footprint, HazardModel};
+
+/// Geometry sampling step along each conduit, km. Endpoints are always
+/// included, so short conduits still test at least two points.
+pub const SAMPLE_STEP_KM: f64 = 25.0;
+
+/// One exposed conduit: its modeled failure probability and closest
+/// sampled distance to the hazard center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exposure {
+    /// Map conduit id (also the conduit-graph edge id).
+    pub conduit: u32,
+    /// Per-draw failure probability, clamped to `[0, 1]`.
+    pub probability: f64,
+    /// Closest sampled distance to the hazard center, km.
+    pub distance_km: f64,
+}
+
+impl Footprint {
+    /// The hazard center: the disc center, or the polygon's vertex
+    /// centroid (closing vertex excluded).
+    pub fn center(&self) -> GeoPoint {
+        match self {
+            Footprint::Disc { center, .. } => *center,
+            Footprint::Polygon { vertices } => {
+                let ring = ring_of(vertices);
+                let n = ring.len().max(1) as f64;
+                GeoPoint {
+                    lat: ring.iter().map(|v| v.lat).sum::<f64>() / n,
+                    lon: ring.iter().map(|v| v.lon).sum::<f64>() / n,
+                }
+            }
+        }
+    }
+
+    /// Whether `p` lies inside the footprint.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        match self {
+            Footprint::Disc { center, radius_km } => center.distance_km(p) <= *radius_km,
+            Footprint::Polygon { vertices } => point_in_ring(p, ring_of(vertices)),
+        }
+    }
+
+    /// Footprint extent, km: the disc radius, or the farthest ring vertex
+    /// from the centroid. Normalizes proximity for the Weibull model.
+    pub fn extent_km(&self) -> f64 {
+        match self {
+            Footprint::Disc { radius_km, .. } => *radius_km,
+            Footprint::Polygon { vertices } => {
+                let c = self.center();
+                ring_of(vertices)
+                    .iter()
+                    .map(|v| c.distance_km(v))
+                    .fold(0.0, f64::max)
+            }
+        }
+    }
+}
+
+/// The ring without its closing repeat (validation guarantees closure,
+/// but the helpers stay total on unvalidated input).
+fn ring_of(vertices: &[GeoPoint]) -> &[GeoPoint] {
+    match (vertices.first(), vertices.last()) {
+        (Some(f), Some(l)) if vertices.len() > 1 && f.lat == l.lat && f.lon == l.lon => {
+            &vertices[..vertices.len() - 1]
+        }
+        _ => vertices,
+    }
+}
+
+impl HazardModel {
+    /// The failure probability for a conduit whose closest sampled
+    /// approach to the hazard center is `distance_km`, inside a footprint
+    /// of `extent_km`. Clamped to `[0, 1]`.
+    pub fn probability(&self, distance_km: f64, extent_km: f64) -> f64 {
+        let p = match *self {
+            HazardModel::Fixed { p } => p,
+            HazardModel::DistanceDecay { p0, scale_km } => p0 * (-distance_km / scale_km).exp(),
+            HazardModel::Weibull { shape, scale } => {
+                // Normalized proximity: 1 at the center, 0 at the edge.
+                let x = if extent_km > 0.0 {
+                    (1.0 - distance_km / extent_km).max(0.0)
+                } else {
+                    1.0
+                };
+                1.0 - (-(x / scale).powf(shape)).exp()
+            }
+        };
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// Sampled points along a conduit's geometry: every [`SAMPLE_STEP_KM`],
+/// endpoints included. Falls back to the raw vertices if resampling is
+/// ever refused (it cannot be for a positive constant step — the
+/// fallback keeps this total without a panic path).
+fn sample_points(geometry: &intertubes_geo::Polyline) -> Vec<GeoPoint> {
+    geometry
+        .sample_every_km(SAMPLE_STEP_KM)
+        .unwrap_or_else(|_| geometry.points().to_vec())
+}
+
+/// Computes the exposure table for `plan`'s footprint and model over
+/// `map`'s conduits, in ascending conduit-id order (only conduits with a
+/// strictly positive probability appear).
+pub fn exposures(map: &FiberMap, footprint: &Footprint, model: &HazardModel) -> Vec<Exposure> {
+    let center = footprint.center();
+    let extent = footprint.extent_km();
+    let mut out = Vec::new();
+    for (c, conduit) in map.conduits.iter().enumerate() {
+        let mut inside = false;
+        let mut closest = f64::INFINITY;
+        for p in sample_points(&conduit.geometry) {
+            inside |= footprint.contains(&p);
+            let d = center.distance_km(&p);
+            if d < closest {
+                closest = d;
+            }
+        }
+        if !inside {
+            continue;
+        }
+        let probability = model.probability(closest, extent);
+        if probability > 0.0 {
+            out.push(Exposure {
+                conduit: c as u32,
+                probability,
+                distance_km: closest,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint { lat, lon }
+    }
+
+    #[test]
+    fn disc_contains_by_distance() {
+        let disc = Footprint::Disc {
+            center: pt(40.0, -100.0),
+            radius_km: 100.0,
+        };
+        assert!(disc.contains(&pt(40.0, -100.0)));
+        assert!(disc.contains(&pt(40.5, -100.0)));
+        assert!(!disc.contains(&pt(42.0, -100.0)));
+        assert_eq!(disc.extent_km(), 100.0);
+    }
+
+    #[test]
+    fn polygon_contains_with_and_without_closing_vertex() {
+        let square = vec![
+            pt(30.0, -100.0),
+            pt(30.0, -90.0),
+            pt(40.0, -90.0),
+            pt(40.0, -100.0),
+            pt(30.0, -100.0),
+        ];
+        let poly = Footprint::Polygon {
+            vertices: square.clone(),
+        };
+        assert!(poly.contains(&pt(35.0, -95.0)));
+        assert!(!poly.contains(&pt(45.0, -95.0)));
+        assert!(!poly.contains(&pt(35.0, -105.0)));
+        let open = Footprint::Polygon {
+            vertices: square[..4].to_vec(),
+        };
+        assert!(open.contains(&pt(35.0, -95.0)));
+        // The centroid ignores the closing repeat.
+        let c = poly.center();
+        assert!((c.lat - 35.0).abs() < 1e-9 && (c.lon + 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn models_clamp_and_decay() {
+        let fixed = HazardModel::Fixed { p: 1.5 };
+        assert_eq!(fixed.probability(0.0, 100.0), 1.0);
+        let decay = HazardModel::DistanceDecay {
+            p0: 0.8,
+            scale_km: 100.0,
+        };
+        assert_eq!(decay.probability(0.0, 100.0), 0.8);
+        assert!(decay.probability(100.0, 100.0) < 0.8 * 0.37);
+        let weib = HazardModel::Weibull {
+            shape: 2.0,
+            scale: 0.5,
+        };
+        // At the edge proximity is 0 → probability 0; at the center it is
+        // 1 - exp(-(1/0.5)^2) ≈ 0.98.
+        assert_eq!(weib.probability(100.0, 100.0), 0.0);
+        assert!(weib.probability(0.0, 100.0) > 0.9);
+    }
+}

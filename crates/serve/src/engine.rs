@@ -13,6 +13,9 @@ use intertubes_geo::fiber_delay_us;
 use intertubes_graph::{csr_dijkstra_filtered, CsrGraph, EdgeId, Landmarks, NodeId, SearchState};
 use intertubes_map::MapConduitId;
 use intertubes_mitigation::what_if_cut;
+use intertubes_scenario::{
+    evaluate, ConditionalRisk, EvalContext, PairRoutes, RouteSummary, ScenarioError, ScenarioPlan,
+};
 
 use crate::index::{build_landmarks, conduit_km};
 use crate::query::{
@@ -38,6 +41,10 @@ pub struct QueryEngine {
     /// deterministically otherwise (v1 containers) — either way the same
     /// tables, so answers don't depend on the container version.
     landmarks: Option<Landmarks>,
+    /// The path index's routes re-expressed as the scenario engine's
+    /// route→conduit table (one conversion at load, shared by every
+    /// `Ensemble` evaluation).
+    scenario_pairs: Vec<PairRoutes>,
 }
 
 impl QueryEngine {
@@ -60,6 +67,23 @@ impl QueryEngine {
         let csr = snap.map.graph().to_csr();
         let km = conduit_km(&snap.map);
         let landmarks = snap.landmarks.clone().or_else(|| build_landmarks(&snap.map));
+        let scenario_pairs = snap
+            .paths
+            .pairs
+            .iter()
+            .map(|pair| PairRoutes {
+                a: pair.a,
+                b: pair.b,
+                routes: pair
+                    .paths
+                    .iter()
+                    .map(|p| RouteSummary {
+                        km: p.km,
+                        conduits: p.conduits.clone(),
+                    })
+                    .collect(),
+            })
+            .collect();
         QueryEngine {
             snap,
             node_by_label,
@@ -67,6 +91,7 @@ impl QueryEngine {
             csr,
             km,
             landmarks,
+            scenario_pairs,
         }
     }
 
@@ -86,6 +111,33 @@ impl QueryEngine {
             Query::Latency { a, b } => self.latency(a, b),
             Query::TopShared { k } => self.top_shared(*k),
             Query::CutImpact { conduits } => self.cut_impact(conduits),
+            Query::Ensemble { plan } => self.ensemble(plan),
+        }
+    }
+
+    /// Evaluates a scenario ensemble against this snapshot's frozen map,
+    /// route index, and CSR search structures. Public so the CLI's
+    /// `scenario` subcommand and `bench_scenario` can reuse exactly the
+    /// serving evaluation path (and its determinism contract).
+    pub fn conditional_risk(&self, plan: &ScenarioPlan) -> Result<ConditionalRisk, ScenarioError> {
+        let ctx = EvalContext {
+            map: &self.snap.map,
+            isps: &self.snap.isps,
+            pairs: &self.scenario_pairs,
+            csr: &self.csr,
+            km: &self.km,
+            shared: &self.snap.risk.shared,
+            landmarks: self.landmarks.as_ref(),
+        };
+        evaluate(&ctx, plan)
+    }
+
+    fn ensemble(&self, plan: &ScenarioPlan) -> Response {
+        match self.conditional_risk(plan) {
+            Ok(report) => Response::Ensemble(report),
+            Err(err) => Response::InvalidQuery {
+                reason: err.to_string(),
+            },
         }
     }
 

@@ -12,7 +12,8 @@
 //!   tables for the live search path;
 //! * [`engine`] — a pure query engine answering typed [`query::Query`]
 //!   requests (per-provider risk, similarity, pair latency, top-shared
-//!   rankings, conduit-cut what-ifs) from the snapshot alone;
+//!   rankings, conduit-cut what-ifs, and geofenced scenario ensembles
+//!   via `intertubes_scenario`) from the snapshot alone;
 //! * [`cache`] — a sharded LRU over canonical query keys, with per-entry
 //!   checksums that turn silent corruption into deterministic misses;
 //! * [`scheduler`] — bounded-queue wave scheduling with admission

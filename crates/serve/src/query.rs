@@ -10,6 +10,7 @@
 //! [`key_hash`] (FNV-1a 64) picks the cache shard.
 
 use intertubes_mitigation::CutReport;
+use intertubes_scenario::{ConditionalRisk, ScenarioPlan};
 use serde::{Deserialize, Serialize};
 
 use crate::snapshot::fnv1a64;
@@ -44,6 +45,15 @@ pub enum Query {
     CutImpact {
         /// Map conduit ids to sever.
         conduits: Vec<u32>,
+    },
+    /// Geofenced scenario ensemble (DESIGN.md §12): sample the plan's
+    /// seeded failure sets over the snapshot and report the expected
+    /// impact. Cached by the plan's canonical JSON — which includes the
+    /// seed — so replaying a scenario is a cache hit, and changing the
+    /// seed is a different key.
+    Ensemble {
+        /// The full scenario plan.
+        plan: ScenarioPlan,
     },
 }
 
@@ -193,6 +203,15 @@ pub enum Response {
     TopShared(TopSharedView),
     /// Answer to [`Query::CutImpact`].
     CutImpact(CutImpactView),
+    /// Answer to [`Query::Ensemble`].
+    Ensemble(ConditionalRisk),
+    /// The query was well-formed but semantically invalid (e.g. a
+    /// scenario plan with a NaN probability); carries the typed error's
+    /// rendering. Like [`Response::NotFound`], an ordinary response.
+    InvalidQuery {
+        /// The validation error, rendered.
+        reason: String,
+    },
     /// The named entity does not exist in the snapshot.
     NotFound {
         /// What was looked up.
@@ -278,6 +297,27 @@ mod tests {
         let text = d.to_canonical_json();
         let back: Response = serde_json::from_str(&text).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn ensemble_key_includes_plan_and_seed() {
+        let (_, mut plan) = intertubes_scenario::ScenarioPlan::built_in_scenarios()
+            .into_iter()
+            .next()
+            .expect("built-ins");
+        let k1 = canonical_key(&Query::Ensemble { plan: plan.clone() });
+        // Same plan → same key (normalization is the identity here).
+        let k1b = canonical_key(&Query::Ensemble { plan: plan.clone() });
+        assert_eq!(k1, k1b);
+        // A different seed is a different cache slot.
+        plan.seed ^= 1;
+        let k2 = canonical_key(&Query::Ensemble { plan: plan.clone() });
+        assert_ne!(k1, k2);
+        // Round trip through the canonical JSON.
+        let q = Query::Ensemble { plan };
+        let text = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&text).unwrap();
+        assert_eq!(q, back);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Determinism + throughput gate for the scenario ensemble engine
+# (DESIGN.md §12).
+#
+# Freezes the reference study into a snapshot, then replays both golden
+# scenario plans (the hurricane corridor and the earthquake disc,
+# tests/goldens/*.scenario.json) through the CLI at 1, 2, and 8 threads.
+# Every arm must produce a byte-identical ConditionalRisk report — the
+# ensemble analogue of the serving replay gate. Then runs the
+# `bench_scenario` harness, which re-checks the digests internally and
+# records scenarios/sec to BENCH_scenario.json; the gate fails on any
+# missing field, on a serial 10 k-draw run slower than 5 s, and — on
+# 4+-core runners only (floor_eligible) — on a parallel speedup below 2x.
+set -eu
+
+WORK=scenario-gate
+
+cd "$(dirname "$0")/.."
+mkdir -p "$WORK"
+
+cargo build --release -q --bin intertubes
+cargo build --release -q -p intertubes-bench --bin bench_scenario
+
+echo "scenario_gate: freezing the reference study..."
+./target/release/intertubes snapshot "$WORK/study.snap"
+
+for name in hurricane-corridor earthquake-disc; do
+    plan="tests/goldens/$name.scenario.json"
+    echo "scenario_gate: replaying $plan at 1/2/8 threads..."
+    for threads in 1 2 8; do
+        ./target/release/intertubes --threads "$threads" scenario "$plan" \
+            --snapshot "$WORK/study.snap" --out "$WORK/$name.t$threads.json"
+    done
+    for arm in t2 t8; do
+        if ! cmp -s "$WORK/$name.t1.json" "$WORK/$name.$arm.json"; then
+            echo "scenario_gate: FAIL — $name $arm report differs from the" >&2
+            echo "single-thread baseline. Ensemble reports must be" >&2
+            echo "byte-identical at any thread count (DESIGN.md §12.5)." >&2
+            exit 1
+        fi
+    done
+done
+echo "scenario_gate: reports byte-identical across 1/2/8 threads"
+
+./target/release/bench_scenario > BENCH_scenario.json
+echo "scenario_gate: wrote BENCH_scenario.json"
+
+# bench_scenario exits nonzero on a digest mismatch, so reaching this
+# point means its arms agreed too; still verify the record is complete.
+for field in threads cores floor_eligible serial_ms parallel_ms speedup \
+    scenarios_per_sec_serial scenarios_per_sec_parallel deterministic; do
+    if ! grep -q "\"$field\"" BENCH_scenario.json; then
+        echo "scenario_gate: FAIL — BENCH_scenario.json is missing \"$field\"." >&2
+        exit 1
+    fi
+done
+if grep -q '"deterministic": false' BENCH_scenario.json; then
+    echo "scenario_gate: FAIL — bench_scenario recorded a nondeterministic run." >&2
+    exit 1
+fi
+
+field() {
+    awk -F'[:,]' -v key="\"$1\"" \
+        '$0 ~ key { gsub(/[ }]/, "", $2); print $2; exit }' BENCH_scenario.json
+}
+
+serial_ms=$(field serial_ms)
+if awk -v v="$serial_ms" 'BEGIN { exit !(v >= 5000) }'; then
+    echo "scenario_gate: FAIL — serial 10k-draw ensemble took ${serial_ms} ms" >&2
+    echo "(budget 5000 ms)." >&2
+    exit 1
+fi
+echo "scenario_gate: serial 10k-draw ensemble in ${serial_ms} ms (< 5 s)"
+
+if grep -q '"floor_eligible": true' BENCH_scenario.json; then
+    speedup=$(field speedup)
+    if awk -v v="$speedup" 'BEGIN { exit !(v < 2.0) }'; then
+        echo "scenario_gate: FAIL — parallel speedup ${speedup}x is below the" >&2
+        echo "2x floor on a 4+-core runner." >&2
+        exit 1
+    fi
+    echo "scenario_gate: parallel speedup ${speedup}x (floor 2x)"
+else
+    echo "scenario_gate: under 4 cores; speedup floor not enforced"
+fi
+echo "scenario_gate: OK"

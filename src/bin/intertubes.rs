@@ -25,9 +25,11 @@
 //! intertubes serve --snapshot study.snap --chaos flaky-io \
 //!            --chaos-report chaos.json # runtime fault injection (DESIGN.md §11)
 //! intertubes query --snapshot study.snap '{"TopShared":{"k":8}}'
+//! intertubes scenario hurricane.json --snapshot study.snap \
+//!            --out risk.json           # seeded scenario ensemble (DESIGN.md §12)
 //! ```
 //!
-//! `serve` and `query` never build a study: they load the frozen snapshot
+//! `serve`, `query`, and `scenario` never build a study: they load the frozen snapshot
 //! (milliseconds) and answer from it, which is the whole point of the
 //! serving split — `snapshot` pays the pipeline cost once.
 //!
@@ -88,6 +90,10 @@ fn usage() -> ! {
                                   replay a deterministic mixed workload\n\
            query --snapshot <path> <query-json>\n\
                                   answer one query from a snapshot\n\
+           scenario <plan.json> --snapshot <path> [--out <path>]\n\
+                                  evaluate a geofenced scenario ensemble\n\
+                                  (DESIGN.md section 12); the report goes to\n\
+                                  --out or stdout. An invalid plan exits 2.\n\
          serve flags:\n\
            --replay N             workload size (default 10000)\n\
            --workload-seed N      workload generator seed (default 2026)\n\
@@ -202,6 +208,18 @@ fn parse_args() -> Invocation {
                 usage()
             }
             None
+        }
+        "scenario" => {
+            // Plan operand plus a snapshot to evaluate against; the plan's
+            // *content* is validated by the handler (an invalid DSL is
+            // still an invocation-class error — exit 2 there too).
+            if !args.iter().any(|a| a == "--snapshot") {
+                usage()
+            }
+            match args.get(1) {
+                Some(op) if !op.starts_with("--") => Some(op.clone()),
+                _ => usage(),
+            }
         }
         _ => usage(),
     };
@@ -375,6 +393,7 @@ fn run(
     match inv.command.as_str() {
         "serve" => return run_serve(inv, fault_plan_doc, health_doc, topology),
         "query" => return run_query(inv, topology),
+        "scenario" => return run_scenario(inv, topology),
         _ => {}
     }
 
@@ -759,6 +778,61 @@ fn run_query(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResu
     let snap = load_snapshot(path, topology)?;
     let engine = intertubes::serve::QueryEngine::new(snap);
     println!("{}", engine.answer(&query).to_canonical_json());
+    Ok(())
+}
+
+fn run_scenario(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResult<()> {
+    let plan_path = inv
+        .out
+        .as_deref()
+        .ok_or_else(|| "missing scenario plan operand".to_string())?;
+    let mut snapshot_path: Option<&String> = None;
+    let mut out: Option<&String> = None;
+    let mut i = 0;
+    let rest = &inv.rest[1..];
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--snapshot" => {
+                snapshot_path = rest.get(i + 1);
+                i += 2;
+            }
+            "--out" => {
+                out = rest.get(i + 1);
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = snapshot_path else { usage() };
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| format!("cannot read scenario plan {plan_path}: {e}"))?;
+    let plan = match intertubes::scenario::ScenarioPlan::from_json(&text) {
+        Ok(plan) => plan,
+        Err(e) => {
+            // An invalid plan is an invocation-class error, like usage():
+            // the typed error goes to stderr and the process exits 2
+            // (tests/scenario_goldens.rs pins the code per error family).
+            eprintln!("invalid scenario plan {plan_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let snap = load_snapshot(path, topology)?;
+    let engine = intertubes::serve::QueryEngine::new(snap);
+    let report = {
+        let mut span = obs::stage("scenario.ensemble");
+        span.items("draws", plan.draws as usize);
+        engine.conditional_risk(&plan).map_err(|e| e.to_string())?
+    };
+    let value =
+        serde_json::to_value(&report).map_err(|e| format!("cannot serialize report: {e:?}"))?;
+    match out {
+        Some(path) => write_json(path, &value)?,
+        None => {
+            let text = serde_json::to_string_pretty(&value)
+                .map_err(|e| format!("cannot serialize report: {e:?}"))?;
+            println!("{text}");
+        }
+    }
     Ok(())
 }
 

@@ -3,8 +3,11 @@
 //! numbers are pinned in `end_to_end.rs`; here we assert the *shape*
 //! invariants on other seeds.)
 
+use intertubes::degrade::DegradationPolicy;
 use intertubes::risk::{sharing_fraction, traffic_risk};
-use intertubes::Study;
+use intertubes::scenario::ScenarioPlan;
+use intertubes::serve::QueryEngine;
+use intertubes::{Study, StudyConfig};
 
 fn shape_invariants(seed: u64) {
     let study = Study::with_seed(seed);
@@ -85,6 +88,61 @@ fn shape_invariants(seed: u64) {
 #[test]
 fn shapes_hold_on_seed_7() {
     shape_invariants(7);
+}
+
+/// Scenario-engine seed sweep (DESIGN.md §12.5): for a fixed frozen
+/// snapshot, the ensemble digest is a pure function of the plan seed —
+/// stable under re-evaluation, identical whether the study was built
+/// under the strict or the lenient degradation policy (clean input makes
+/// them equivalent), and distinct across seeds (different seeds sample
+/// different failure sets, not just a different label).
+#[test]
+fn scenario_digests_sweep_seeds_across_both_policies() {
+    let mut strict_cfg = StudyConfig::default();
+    strict_cfg.policy = DegradationPolicy::Strict;
+    let (strict, _) = Study::new_checked(strict_cfg).expect("clean input builds strictly");
+    let (lenient, _) =
+        Study::new_checked(StudyConfig::default()).expect("lenient build never fails");
+    let strict_engine = QueryEngine::new(strict.snapshot(Some(2_000)));
+    let lenient_engine = QueryEngine::new(lenient.snapshot(Some(2_000)));
+
+    // The hurricane corridor at a sweep-friendly ensemble size.
+    let mut plan = ScenarioPlan::built_in_scenarios()[0].1.clone();
+    plan.draws = 500;
+
+    let seeds = [11u64, 22, 33, 44, 55];
+    let mut digests = Vec::new();
+    let mut means = Vec::new();
+    for seed in seeds {
+        plan.seed = seed;
+        let report = lenient_engine.conditional_risk(&plan).expect("valid plan");
+        let digest = report.digest();
+        let again = lenient_engine.conditional_risk(&plan).expect("valid plan");
+        assert_eq!(again.digest(), digest, "seed {seed}: re-evaluation drifted");
+        let strict_report = strict_engine.conditional_risk(&plan).expect("valid plan");
+        assert_eq!(
+            strict_report.digest(),
+            digest,
+            "seed {seed}: strict and lenient snapshots disagree"
+        );
+        digests.push(digest);
+        means.push(report.mean_conduits_cut);
+    }
+    for i in 0..digests.len() {
+        for j in i + 1..digests.len() {
+            assert_ne!(
+                digests[i], digests[j],
+                "seeds {} and {} collided",
+                seeds[i], seeds[j]
+            );
+        }
+    }
+    // Distinctness must come from the sampling, not merely the seed field
+    // echoed into the report.
+    assert!(
+        means.windows(2).any(|w| w[0] != w[1]),
+        "every seed sampled identical ensembles: {means:?}"
+    );
 }
 
 #[test]
