@@ -199,7 +199,11 @@ impl World {
 /// Adds digitization noise: each interior vertex moves up to `max_km` in a
 /// random direction; endpoints stay pinned to their cities.
 fn perturb_geometry(rng: &mut StdRng, geometry: &Polyline, max_km: f64) -> Polyline {
-    let dense = geometry.densify(60.0).expect("positive step");
+    // The 60 km step is a positive constant, so densify cannot fail; fall
+    // back to the undensified geometry rather than panicking regardless.
+    let dense = geometry
+        .densify(60.0)
+        .unwrap_or_else(|_| geometry.clone());
     let pts = dense.points();
     let n = pts.len();
     let mut out = Vec::with_capacity(n);

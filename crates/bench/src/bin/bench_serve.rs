@@ -14,16 +14,18 @@
 //!    across all four arms — the serving analogue of the PR-3
 //!    determinism battery.
 //!
-//! Per-arm throughput, latency quantiles, hit rate, and peak queue depth
-//! are printed as JSON on stdout; a digest mismatch exits nonzero so the
-//! gate fails loudly rather than recording a nondeterministic run.
+//! Per-arm throughput, latency quantiles (overall and per query family,
+//! from the telemetry timing plane — DESIGN.md §13), hit rate, and peak
+//! queue depth are printed as JSON on stdout; a digest mismatch exits
+//! nonzero so the gate fails loudly rather than recording a
+//! nondeterministic run.
 
 use std::time::Instant;
 
 use intertubes::parallel::{thread_count, with_threads};
 use intertubes::serve::{
-    fnv1a64, mixed_workload, run_batch, CacheConfig, QueryEngine, ResultCache, ServeConfig,
-    StudySnapshot,
+    fnv1a64, mixed_workload, run_batch_telemetry, CacheConfig, QueryEngine, ResultCache,
+    ServeConfig, ServeTelemetry, StudySnapshot,
 };
 use intertubes_bench::study;
 
@@ -98,10 +100,20 @@ fn main() {
             ..ServeConfig::default()
         };
         let cache = ResultCache::new(cfg.cache);
+        let telemetry = ServeTelemetry::new();
         let t = Instant::now();
-        let (responses, stats) =
-            with_threads(arm_threads, || run_batch(&engine, &queries, &cfg, &cache));
+        let (responses, stats) = with_threads(arm_threads, || {
+            run_batch_telemetry(&engine, &queries, &cfg, &cache, &telemetry)
+        });
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        // Per-family latency quantiles from the telemetry timing plane
+        // (EXPERIMENTS.md's per-family table is generated from these).
+        let stats_doc = telemetry.stats_document(Some(&cache));
+        let per_family = stats_doc
+            .get("timing")
+            .and_then(|t| t.get("per_family"))
+            .cloned()
+            .unwrap_or(serde_json::json!({}));
         let digest = fnv1a64(responses.join("\n").as_bytes());
         let qps = if wall_ms > 0.0 {
             responses.len() as f64 / (wall_ms / 1e3)
@@ -125,6 +137,7 @@ fn main() {
             "hit_rate": stats.hit_rate,
             "max_queue_depth": stats.max_queue_depth,
             "waves": stats.waves,
+            "per_family": per_family,
             "digest": format!("{digest:016x}"),
         }));
     }
@@ -147,6 +160,7 @@ fn main() {
         "p99_us": headline["p99_us"].clone(),
         "hit_rate": headline["hit_rate"].clone(),
         "max_queue_depth": headline["max_queue_depth"].clone(),
+        "per_family": headline["per_family"].clone(),
         "deterministic": deterministic,
         "arms": arms,
     });

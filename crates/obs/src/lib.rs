@@ -48,6 +48,7 @@
 
 mod manifest;
 mod metrics;
+mod ring;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +60,7 @@ pub use manifest::{
     MANIFEST_SCHEMA,
 };
 pub use metrics::{Gauge, Histogram, MetricsSnapshot, HISTOGRAM_BUCKETS};
+pub use ring::Ring;
 pub use tracing::{FieldValue, Level};
 
 // ---------------------------------------------------------------------------

@@ -40,6 +40,11 @@ pub struct RunInfo {
     /// Serving health summary (final state plus transition trace), when
     /// the run exercised the serving layer; `None` elsewhere.
     pub health: Option<Value>,
+    /// The canonicalized serving count plane (`intertubes-stats/v1`
+    /// counts, timing stripped), when the run served queries; `None`
+    /// elsewhere. Embedding only the canonical form keeps the manifest
+    /// itself byte-comparable across thread counts and cache modes.
+    pub serve_stats: Option<Value>,
 }
 
 /// The headline topology counts (§2 of the paper: the reference
@@ -145,6 +150,10 @@ pub fn build_manifest(
     run.insert(
         "health".to_string(),
         info.health.clone().unwrap_or(Value::Null),
+    );
+    run.insert(
+        "serve_stats".to_string(),
+        info.serve_stats.clone().unwrap_or(Value::Null),
     );
 
     let mut environment = Map::new();
@@ -327,6 +336,24 @@ pub fn validate_manifest(manifest: &Value, required_stages: &[&str]) -> Result<(
                 Some(v) if v.is_null() || v.is_object() => {}
                 other => problem(format!("run.health invalid: {other:?}")),
             }
+            match run.get("serve_stats") {
+                // Absent is tolerated for pre-§13 traces; when present it
+                // must be the canonical count-plane object (or null).
+                None | Some(Value::Null) => {}
+                Some(v) if v.is_object() => {
+                    if v.get("counts").and_then(Value::as_object).is_none() {
+                        problem("run.serve_stats.counts missing or not an object".to_string());
+                    }
+                    if v.get("timing").is_some() {
+                        problem(
+                            "run.serve_stats carries a timing plane — only the \
+                             canonical count plane belongs in a manifest"
+                                .to_string(),
+                        );
+                    }
+                }
+                other => problem(format!("run.serve_stats invalid: {other:?}")),
+            }
         }
         _ => problem("run section missing".to_string()),
     }
@@ -462,6 +489,7 @@ mod tests {
             threads: 8,
             exit_status: 0,
             health: None,
+            serve_stats: None,
         }
     }
 
@@ -525,6 +553,38 @@ mod tests {
             serde_json::to_string(&a).unwrap_or_default(),
             serde_json::to_string(&b).unwrap_or_default()
         );
+    }
+
+    #[test]
+    fn serve_stats_embed_only_accepts_the_canonical_count_plane() {
+        let record = sample_record();
+        let mut info = sample_info();
+
+        // Canonical form (counts only) validates and survives canonicalize.
+        let mut counts = Map::new();
+        counts.insert("waves".to_string(), uint(3));
+        let mut stats = Map::new();
+        stats.insert("counts".to_string(), Value::Object(counts));
+        info.serve_stats = Some(Value::Object(stats.clone()));
+        let manifest = build_manifest(&info, &record, None);
+        validate_manifest(&manifest, &[]).unwrap_or_else(|problems| {
+            panic!("canonical serve_stats should validate: {problems:?}")
+        });
+        let canon = canonicalize(&manifest);
+        assert_eq!(
+            canon["run"]["serve_stats"]["counts"]["waves"].as_u64(),
+            Some(3)
+        );
+
+        // A timing plane in the manifest is a schema violation.
+        stats.insert("timing".to_string(), Value::Object(Map::new()));
+        info.serve_stats = Some(Value::Object(stats));
+        let manifest = build_manifest(&info, &record, None);
+        let problems = match validate_manifest(&manifest, &[]) {
+            Err(problems) => problems,
+            Ok(()) => panic!("a timing plane must be rejected"),
+        };
+        assert!(problems.iter().any(|p| p.contains("timing")));
     }
 
     #[test]

@@ -79,6 +79,54 @@ impl Histogram {
         (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// The value range `[lo, hi]` a bucket covers (bucket 0 is exactly 0,
+    /// bucket `i` spans `[2^(i-1), 2^i - 1]`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            return (0, 0);
+        }
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (lo, hi)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by **deterministic bucket
+    /// interpolation**: the rank's bucket is located by cumulative count,
+    /// then the observations inside it are assumed evenly spread across
+    /// the bucket's value range and the rank's offset picks a point with
+    /// integer arithmetic only. The result is clamped to the observed
+    /// `[min, max]`, and identical for any merge tree over the same
+    /// observations — quantiles inherit the merge algebra's determinism
+    /// even though they are derived, not stored.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64)
+            .min(self.count - 1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank < seen + c {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let offset = rank - seen;
+                let width = hi - lo;
+                let interpolated = if c > 1 {
+                    // Exact integer interpolation, widened so no width ×
+                    // offset product can overflow.
+                    lo + ((width as u128 * offset as u128) / (c - 1) as u128) as u64
+                } else {
+                    lo + width / 2
+                };
+                return interpolated.clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, v: u64) {
         self.count += 1;
@@ -244,6 +292,63 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantiles_interpolate_deterministically() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram quantile is 0");
+        h.observe(100);
+        assert_eq!(h.quantile(0.0), 100);
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(1.0), 100);
+
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 1000, 2000, 4000] {
+            h.observe(v);
+        }
+        // Quantiles are monotone, bracketed by the observed range, and
+        // exactly reproducible.
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= h.min && p99 <= h.max);
+        assert_eq!(p99, h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantiles_are_merge_order_independent() {
+        let values = [0u64, 3, 9, 17, 80, 81, 500, 7000, 7001, 65000];
+        let mut whole = Histogram::default();
+        for v in values {
+            whole.observe(v);
+        }
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for (i, v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                left.observe(*v);
+            } else {
+                right.observe(*v);
+            }
+        }
+        right.merge(&left);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(whole.quantile(q), right.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_domain() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(3), (4, 7));
+        for v in [0u64, 1, 2, 3, 4, 100, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket(v));
+            assert!(lo <= v && (v <= hi || Histogram::bucket(v) == HISTOGRAM_BUCKETS - 1));
+        }
     }
 
     #[test]

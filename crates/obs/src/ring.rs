@@ -1,0 +1,158 @@
+//! A fixed-capacity ring buffer — the storage primitive behind the serve
+//! flight recorder (DESIGN.md §13).
+//!
+//! [`Ring`] keeps the **last** `capacity` pushed items: once full, every
+//! push overwrites the oldest element and bumps the dropped counter, so
+//! the memory bound holds no matter how long a serving session runs.
+//! Iteration is always oldest → newest, which is what makes a dump of the
+//! ring deterministic for a deterministic push sequence — the ring never
+//! exposes its internal wrap point.
+
+/// A bounded buffer retaining the most recent `capacity` items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring<T> {
+    /// Backing storage, at most `capacity` long.
+    items: Vec<T>,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+    /// Upper bound on retained items (≥ 1).
+    capacity: usize,
+    /// Items overwritten because the ring was full.
+    dropped: u64,
+    /// Items ever pushed (`len() + dropped`).
+    pushed: u64,
+}
+
+impl<T> Ring<T> {
+    /// An empty ring retaining at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let capacity = capacity.max(1);
+        Ring {
+            items: Vec::with_capacity(capacity.min(1024)),
+            head: 0,
+            capacity,
+            dropped: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends an item, overwriting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        self.pushed += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        self.items[self.head] = item;
+        self.head = (self.head + 1) % self.capacity;
+        self.dropped += 1;
+    }
+
+    /// Retained items (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Items ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Iterates retained items oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (wrapped, recent) = self.items.split_at(self.head.min(self.items.len()));
+        recent.iter().chain(wrapped.iter())
+    }
+
+    /// Discards every retained item (the counters keep their totals).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_everything_under_capacity() {
+        let mut ring = Ring::new(4);
+        assert!(ring.is_empty());
+        for i in 0..3 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut ring = Ring::new(3);
+        for i in 0..7 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.dropped(), 4);
+        assert_eq!(ring.pushed(), 7);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn wrap_point_is_invisible_to_iteration() {
+        // Same final window via different push counts that wrap at
+        // different offsets.
+        let mut a = Ring::new(4);
+        for i in 0..9 {
+            a.push(i % 4);
+        }
+        let mut b = Ring::new(4);
+        for i in 4..9 {
+            b.push(i % 4);
+        }
+        assert_eq!(
+            a.iter().copied().collect::<Vec<_>>(),
+            b.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ring = Ring::new(0);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_counters() {
+        let mut ring = Ring::new(2);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed(), 5);
+        assert_eq!(ring.dropped(), 3);
+        ring.push(9);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+}

@@ -8,6 +8,7 @@
 //! the same bytes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use intertubes_geo::fiber_delay_us;
 use intertubes_graph::{csr_dijkstra_filtered, CsrGraph, EdgeId, Landmarks, NodeId, SearchState};
@@ -22,7 +23,9 @@ use crate::query::{
     CutImpactView, IspRiskView, LatencyView, NeighborView, PairDeltaView, Query, Response,
     SharedConduitView, SimilarityView, TopSharedView,
 };
+use crate::query::StatsView;
 use crate::snapshot::StudySnapshot;
+use crate::telemetry::{ServeTelemetry, STATS_SCHEMA};
 
 /// A loaded snapshot plus the lookup tables the queries need. Shared
 /// read-only across scheduler workers (`&self` everywhere).
@@ -45,6 +48,10 @@ pub struct QueryEngine {
     /// route→conduit table (one conversion at load, shared by every
     /// `Ensemble` evaluation).
     scenario_pairs: Vec<PairRoutes>,
+    /// Telemetry sink for [`Query::Stats`] answers (DESIGN.md §13). The
+    /// engine only *reads* it — all writes happen in the scheduler's
+    /// serial phases — so `answer` stays pure from the workers' view.
+    telemetry: Option<Arc<ServeTelemetry>>,
 }
 
 impl QueryEngine {
@@ -92,7 +99,18 @@ impl QueryEngine {
             km,
             landmarks,
             scenario_pairs,
+            telemetry: None,
         }
+    }
+
+    /// Attaches the telemetry sink [`Query::Stats`] answers read from.
+    pub fn attach_telemetry(&mut self, telemetry: Arc<ServeTelemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<ServeTelemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The snapshot this engine serves.
@@ -112,7 +130,20 @@ impl QueryEngine {
             Query::TopShared { k } => self.top_shared(*k),
             Query::CutImpact { conduits } => self.cut_impact(conduits),
             Query::Ensemble { plan } => self.ensemble(plan),
+            Query::Stats => Response::Stats(self.stats_view()),
         }
+    }
+
+    /// The current count-plane snapshot, or an empty (but well-formed)
+    /// view when no telemetry sink is attached.
+    pub fn stats_view(&self) -> StatsView {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.stats_view())
+            .unwrap_or_else(|| StatsView {
+                schema: STATS_SCHEMA.to_string(),
+                ..StatsView::default()
+            })
     }
 
     /// Evaluates a scenario ensemble against this snapshot's frozen map,

@@ -18,6 +18,10 @@
 //!   checksums that turn silent corruption into deterministic misses;
 //! * [`scheduler`] — bounded-queue wave scheduling with admission
 //!   control, deadline accounting, and obs metrics;
+//! * [`telemetry`] — the serving telemetry plane (DESIGN.md §13): a
+//!   deterministic, mergeable **count plane**, a wall-clock **timing
+//!   plane** excluded from every canonical digest, and a bounded flight
+//!   recorder of recent query events;
 //! * [`chaos`] — runtime fault injection (`ChaosSession` over the
 //!   `FaultPlan` runtime families), crash-safe snapshot persistence
 //!   (temp-write → verify → fsync → atomic rename, with `.tmp`/`.bak`
@@ -39,17 +43,26 @@ pub mod index;
 pub mod query;
 pub mod scheduler;
 pub mod snapshot;
+pub mod telemetry;
 pub mod workload;
 
-pub use cache::{CacheConfig, ResultCache};
+pub use cache::{CacheConfig, CacheStats, ResultCache, ShardStats};
 pub use chaos::{
     load_with, save_with, ChaosReport, ChaosSession, FaultClass, Health, HealthTrace,
     HealthTransition, LoadReport, RealIo, RetryPolicy, SaveReport, ServeError, SnapshotIo,
 };
 pub use engine::QueryEngine;
 pub use index::{build_landmarks, PairPaths, PathIndex, PathSummary};
-pub use query::{canonical_key, key_hash, normalize, Query, Response};
-pub use scheduler::{run_batch, run_batch_chaos, ServeConfig, ServeStats};
+pub use query::{canonical_key, key_hash, normalize, Query, Response, StatsView};
+pub use scheduler::{
+    run_batch, run_batch_chaos, run_batch_chaos_telemetry, run_batch_telemetry, ServeConfig,
+    ServeStats,
+};
+pub use telemetry::{
+    canonicalize_stats, duration_bucket, response_kind, CacheOutcome, CountPlane, FlightDump,
+    FlightEvent, FlightRecorder, QueryFamily, ServeTelemetry, TimingPlane,
+    DEFAULT_FLIGHT_CAPACITY, MAX_FLIGHT_DUMPS, NONCANONICAL_STATS_KEYS, STATS_SCHEMA,
+};
 pub use snapshot::{
     fnv1a64, section_bounds, SectionBounds, SnapshotError, StudySnapshot, SNAPSHOT_MAGIC,
     SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2,

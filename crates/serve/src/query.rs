@@ -9,6 +9,8 @@
 //! ordered), so semantically identical requests share one cache slot.
 //! [`key_hash`] (FNV-1a 64) picks the cache shard.
 
+use std::collections::BTreeMap;
+
 use intertubes_mitigation::CutReport;
 use intertubes_scenario::{ConditionalRisk, ScenarioPlan};
 use serde::{Deserialize, Serialize};
@@ -55,6 +57,12 @@ pub enum Query {
         /// The full scenario plan.
         plan: ScenarioPlan,
     },
+    /// Serving telemetry self-query (DESIGN.md §13): the engine answers
+    /// with its own count plane as of the **start of the wave** the query
+    /// runs in. Never cached and never deduplicated — the answer depends
+    /// on serving history, not on the snapshot — but still deterministic,
+    /// because the count plane is.
+    Stats,
 }
 
 /// Normalizes a query to its canonical form: the form whose serialization
@@ -189,6 +197,29 @@ pub struct CutImpactView {
     pub pair_deltas: Vec<PairDeltaView>,
 }
 
+/// Answer to [`Query::Stats`]: a count-plane snapshot taken at the start
+/// of the wave the query executes in. Contains only deterministic u64
+/// aggregates — nothing timing-derived — so responses stay byte-identical
+/// across thread counts **and** cache modes (cache counters live in the
+/// stats document, not here, precisely because they differ across modes).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsView {
+    /// Stats schema tag (`intertubes-stats/v1`).
+    pub schema: String,
+    /// Waves fully executed before this query's wave.
+    pub waves: u64,
+    /// Queries submitted to the scheduler so far.
+    pub submitted: u64,
+    /// Queries past admission control.
+    pub admitted: u64,
+    /// Queries rejected at admission.
+    pub rejected: u64,
+    /// Queries shed as degraded before this wave.
+    pub degraded: u64,
+    /// Queries seen per family label, in label order.
+    pub families: BTreeMap<String, u64>,
+}
+
 /// An answer. `NotFound` and `Rejected` are ordinary responses — the
 /// engine never panics and the scheduler never drops a query silently.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -205,6 +236,8 @@ pub enum Response {
     CutImpact(CutImpactView),
     /// Answer to [`Query::Ensemble`].
     Ensemble(ConditionalRisk),
+    /// Answer to [`Query::Stats`].
+    Stats(StatsView),
     /// The query was well-formed but semantically invalid (e.g. a
     /// scenario plan with a NaN probability); carries the typed error's
     /// rendering. Like [`Response::NotFound`], an ordinary response.

@@ -40,9 +40,10 @@ use intertubes_parallel::par_map;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheConfig, ResultCache};
-use crate::chaos::{ChaosReport, ChaosSession, HealthTrace};
+use crate::chaos::{ChaosReport, ChaosSession, Health, HealthTrace};
 use crate::engine::QueryEngine;
-use crate::query::{canonical_key, Query, Response};
+use crate::query::{canonical_key, key_hash, Query, Response};
+use crate::telemetry::{CacheOutcome, QueryFamily, ServeTelemetry};
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +57,9 @@ pub struct ServeConfig {
     pub deadline_us: u64,
     /// Result-cache shape.
     pub cache: CacheConfig,
+    /// Flight-recorder window (events retained) when telemetry is
+    /// attached; see [`crate::telemetry::ServeTelemetry`].
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +69,7 @@ impl Default for ServeConfig {
             admit_max: usize::MAX,
             deadline_us: 0,
             cache: CacheConfig::default(),
+            flight_capacity: crate::telemetry::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -114,6 +119,18 @@ enum Slot {
     /// Shed under injected overload: the degraded response bytes, plus
     /// the (stale-)lookup latency in µs.
     Shed(String, u64),
+    /// [`Query::Stats`] answered from the wave-start telemetry snapshot
+    /// (serial, never cached, never deduplicated — the answer depends on
+    /// serving history, not the snapshot, so caching it would serve stale
+    /// counts and break cache-on/off byte identity).
+    Stats(String, u64),
+}
+
+/// What the telemetry sink needs to know about a slot at assemble time.
+struct SlotMeta {
+    family: QueryFamily,
+    key_hash: u64,
+    outcome: CacheOutcome,
 }
 
 /// Serves `queries` against `engine`, returning one canonical-JSON
@@ -128,8 +145,37 @@ pub fn run_batch(
     cfg: &ServeConfig,
     cache: &ResultCache,
 ) -> (Vec<String>, ServeStats) {
-    let (responses, stats, _) = serve_batch(engine, queries, cfg, cache, None);
+    let (responses, stats, _) = serve_batch(engine, queries, cfg, cache, None, None);
     (responses, stats)
+}
+
+/// [`run_batch`] with a telemetry sink attached: the count plane, timing
+/// plane, and flight recorder observe every wave (DESIGN.md §13).
+/// Telemetry observation never changes a response byte — the sink is
+/// write-only from the scheduler's serial phases.
+pub fn run_batch_telemetry(
+    engine: &QueryEngine,
+    queries: &[Query],
+    cfg: &ServeConfig,
+    cache: &ResultCache,
+    telemetry: &ServeTelemetry,
+) -> (Vec<String>, ServeStats) {
+    let (responses, stats, _) = serve_batch(engine, queries, cfg, cache, None, Some(telemetry));
+    (responses, stats)
+}
+
+/// [`run_batch_chaos`] with a telemetry sink: additionally dumps the
+/// flight recorder on injected faults and whenever the health machine
+/// leaves `Ready`.
+pub fn run_batch_chaos_telemetry(
+    engine: &QueryEngine,
+    queries: &[Query],
+    cfg: &ServeConfig,
+    cache: &ResultCache,
+    chaos: &ChaosSession,
+    telemetry: &ServeTelemetry,
+) -> (Vec<String>, ServeStats, ChaosReport) {
+    serve_batch(engine, queries, cfg, cache, Some(chaos), Some(telemetry))
 }
 
 /// [`run_batch`] under an active chaos session: the wave loop consults
@@ -143,7 +189,7 @@ pub fn run_batch_chaos(
     cache: &ResultCache,
     chaos: &ChaosSession,
 ) -> (Vec<String>, ServeStats, ChaosReport) {
-    serve_batch(engine, queries, cfg, cache, Some(chaos))
+    serve_batch(engine, queries, cfg, cache, Some(chaos), None)
 }
 
 /// The shared wave loop behind [`run_batch`] and [`run_batch_chaos`].
@@ -153,8 +199,11 @@ fn serve_batch(
     cfg: &ServeConfig,
     cache: &ResultCache,
     chaos: Option<&ChaosSession>,
+    telemetry: Option<&ServeTelemetry>,
 ) -> (Vec<String>, ServeStats, ChaosReport) {
     let t0 = Instant::now();
+    let mut stage = intertubes_obs::stage("serve.schedule");
+    stage.items("queries", queries.len());
     let queue_capacity = cfg.queue_capacity.max(1);
     let admitted = queries.len().min(cfg.admit_max);
     let mut responses = vec![String::new(); queries.len()];
@@ -169,6 +218,9 @@ fn serve_batch(
     }
     let rejected = queries.len() - admitted;
     intertubes_obs::counter("serve.rejected", rejected as u64);
+    if let Some(t) = telemetry {
+        t.note_admission(queries.len() as u64, admitted as u64, rejected as u64);
+    }
 
     let lenient = chaos.map_or(true, |c| !c.policy().is_strict());
     let mut latencies: Vec<u64> = Vec::with_capacity(admitted);
@@ -179,6 +231,9 @@ fn serve_batch(
     let mut waves = 0usize;
     let mut degraded = 0usize;
     let mut stale_served = 0usize;
+    // Health state as observed after the previous wave — the flight
+    // recorder dumps whenever the machine leaves `Ready`.
+    let mut prev_health = Health::Ready;
 
     let mut wave_start = 0usize;
     while wave_start < admitted {
@@ -187,6 +242,9 @@ fn serve_batch(
         waves += 1;
         max_queue_depth = max_queue_depth.max(depth);
         intertubes_obs::gauge("serve.queue_depth", depth as i64);
+        if let Some(t) = telemetry {
+            t.note_wave_start(depth as u64);
+        }
 
         // Chaos hooks (serial, before any lookup): poison a cache shard,
         // then decide whether an overload burst sheds this wave's tail.
@@ -205,11 +263,20 @@ fn serve_batch(
 
         // Phase 1 — decide (serial): cache lookups and in-wave dedup.
         let mut slots: Vec<Slot> = Vec::with_capacity(depth);
+        let mut metas: Vec<SlotMeta> = Vec::with_capacity(depth);
         // Unique computations: (canonical key, index of first query).
         let mut unique: Vec<(String, usize)> = Vec::new();
         let mut pending: HashMap<String, usize> = HashMap::new();
+        // Stats answers snapshot the count plane **as of wave start**
+        // (everything recorded through the previous wave), rendered once
+        // per wave — identical for every Stats query in the wave, and
+        // independent of the cache mode.
+        let mut wave_stats_json: Option<String> = None;
         for qi in wave_start..wave_end {
-            let key = canonical_key(&queries[qi]);
+            let query = &queries[qi];
+            let family = QueryFamily::of(query);
+            let key = canonical_key(query);
+            let khash = key_hash(&key);
             // Graceful-degradation tier: shed by queue position. Never a
             // silent drop — the query gets a Degraded response, with the
             // stale cached answer attached under the lenient policy.
@@ -219,6 +286,9 @@ fn serve_batch(
                     let stale = if lenient { cache.get(&key) } else { None };
                     if stale.is_some() {
                         stale_served += 1;
+                        if let Some(t) = telemetry {
+                            t.note_stale_served();
+                        }
                     }
                     degraded += 1;
                     let json = Response::Degraded {
@@ -227,13 +297,44 @@ fn serve_batch(
                     }
                     .to_canonical_json();
                     slots.push(Slot::Shed(json, lookup_t0.elapsed().as_micros() as u64));
+                    metas.push(SlotMeta {
+                        family,
+                        key_hash: khash,
+                        outcome: CacheOutcome::Shed,
+                    });
                     continue;
                 }
+            }
+            // Stats self-queries bypass the cache *and* dedup: the answer
+            // depends on serving history, so caching would serve stale
+            // counts and make responses diverge across cache modes.
+            if matches!(query, Query::Stats) {
+                let lookup_t0 = Instant::now();
+                let json = wave_stats_json
+                    .get_or_insert_with(|| {
+                        let view = telemetry
+                            .map(|t| t.stats_view())
+                            .unwrap_or_else(|| engine.stats_view());
+                        Response::Stats(view).to_canonical_json()
+                    })
+                    .clone();
+                slots.push(Slot::Stats(json, lookup_t0.elapsed().as_micros() as u64));
+                metas.push(SlotMeta {
+                    family,
+                    key_hash: khash,
+                    outcome: CacheOutcome::Stats,
+                });
+                continue;
             }
             let lookup_t0 = Instant::now();
             if let Some(hit) = cache.get(&key) {
                 cache_hits += 1;
                 slots.push(Slot::Hit(hit, lookup_t0.elapsed().as_micros() as u64));
+                metas.push(SlotMeta {
+                    family,
+                    key_hash: khash,
+                    outcome: CacheOutcome::Hit,
+                });
                 continue;
             }
             cache_misses += 1;
@@ -249,6 +350,11 @@ fn serve_batch(
                 unique.len() - 1
             };
             slots.push(Slot::Compute(slot));
+            metas.push(SlotMeta {
+                family,
+                key_hash: khash,
+                outcome: CacheOutcome::Miss,
+            });
         }
 
         // Phase 2 — compute (parallel, order-preserving): answer unique
@@ -260,8 +366,8 @@ fn serve_batch(
         });
 
         // Phase 3 — assemble (serial): fill responses in queue order,
-        // populate the cache, account latencies.
-        for (offset, slot) in slots.into_iter().enumerate() {
+        // populate the cache, account latencies and telemetry.
+        for (offset, (slot, meta)) in slots.into_iter().zip(metas).enumerate() {
             let qi = wave_start + offset;
             let us = match slot {
                 Slot::Hit(json, us) => {
@@ -273,7 +379,7 @@ fn serve_batch(
                     responses[qi] = json.clone();
                     *us
                 }
-                Slot::Shed(json, us) => {
+                Slot::Shed(json, us) | Slot::Stats(json, us) => {
                     responses[qi] = json;
                     us
                 }
@@ -284,12 +390,45 @@ fn serve_batch(
                 deadline_overruns += 1;
                 intertubes_obs::counter("serve.deadline_overruns", 1);
             }
+            if let Some(t) = telemetry {
+                t.record(
+                    waves as u64,
+                    meta.family,
+                    meta.key_hash,
+                    meta.outcome,
+                    &responses[qi],
+                    us,
+                    cfg.deadline_us,
+                );
+            }
         }
         for ((key, _), (json, _)) in unique.iter().zip(&computed) {
             cache.insert(key, json);
         }
         if let Some(session) = chaos {
             session.end_wave(waves as u64, wave_injected);
+        }
+        if let Some(t) = telemetry {
+            t.note_wave_complete();
+            // Flight-recorder triggers (serial, after the wave's events
+            // are recorded): an injected fault, and any departure from
+            // `Ready` — both functions of (plan, seed, wave), never of
+            // timing.
+            if wave_injected {
+                t.dump_flight("fault_injected", waves as u64);
+            }
+            if let Some(session) = chaos {
+                let health = session.health();
+                if health != prev_health {
+                    if health != Health::Ready {
+                        t.dump_flight(
+                            &format!("health:{}", health.label()),
+                            waves as u64,
+                        );
+                    }
+                    prev_health = health;
+                }
+            }
         }
 
         wave_start = wave_end;
@@ -354,5 +493,17 @@ fn serve_batch(
             }
         }
     };
+    if let Some(t) = telemetry {
+        t.set_health_transitions(report.transitions.len() as u64);
+        // The drain capture: the final flight window every run gets,
+        // chaotic or clean.
+        t.dump_flight("drain", waves as u64);
+    }
+    stage.items("waves", waves);
+    stage.items("admitted", admitted);
+    if degraded > 0 {
+        stage.degraded();
+    }
+    drop(stage);
     (responses, stats, report)
 }

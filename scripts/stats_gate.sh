@@ -1,0 +1,110 @@
+#!/usr/bin/env sh
+# Telemetry-plane determinism gate (DESIGN.md §13).
+#
+# Freezes the reference study, then replays a fixed workload at 1, 2, and
+# 8 threads with the result cache on AND off — six arms. Each arm writes
+# an `intertubes-stats/v1` document via --stats-out; the gate validates
+# every document with `stats_check` (schema, count-plane consistency,
+# timing-plane quantiles, flight-recorder shape) and byte-compares the
+# **canonicalized** form across all six arms: the count plane and the
+# flight-recorder dumps must be identical at any thread count and in
+# either cache mode, while the timing plane must be present in the full
+# document and provably absent from the canonical one.
+#
+# A second battery repeats the comparison under the seeded `overload`
+# chaos scenario, which degrades deterministically by queue position —
+# injected faults, health transitions, and their flight dumps must also
+# canonicalize identically across all six arms. (The poisoned-cache
+# scenario is deliberately NOT used here: poisoning is a no-op with the
+# cache off, so its ledger legitimately differs across cache modes.)
+#
+# Artifacts land in STATS_DIR (default stats-gate/) so CI can upload them.
+set -eu
+
+STATS_DIR="${STATS_DIR:-stats-gate}"
+REPLAY="${REPLAY:-6000}"
+
+cd "$(dirname "$0")/.."
+mkdir -p "$STATS_DIR"
+
+cargo build --release -q --bin intertubes --bin stats_check
+
+echo "stats_gate: freezing the reference study..."
+./target/release/intertubes snapshot "$STATS_DIR/study.snap"
+
+run_arm() {
+    # run_arm <label> <threads> <cache-flag> [chaos args...]
+    label="$1"; threads="$2"; cacheflag="$3"; shift 3
+    ./target/release/intertubes --threads "$threads" serve \
+        --snapshot "$STATS_DIR/study.snap" \
+        --replay "$REPLAY" $cacheflag "$@" \
+        --out "$STATS_DIR/resp_$label.jsonl" \
+        --stats /dev/null \
+        --stats-out "$STATS_DIR/stats_$label.json"
+    ./target/release/stats_check "$STATS_DIR/stats_$label.json"
+    ./target/release/stats_check --canonical "$STATS_DIR/stats_$label.json" \
+        > "$STATS_DIR/canon_$label.json"
+    # The timing plane must be in the full document...
+    if ! grep -q '"timing"' "$STATS_DIR/stats_$label.json"; then
+        echo "stats_gate: FAIL — $label: timing plane missing from the full document." >&2
+        exit 1
+    fi
+    # ...and provably absent from the canonical form (stats_check already
+    # walks for every non-canonical key; this greps the headline one).
+    if grep -q '"timing"' "$STATS_DIR/canon_$label.json"; then
+        echo "stats_gate: FAIL — $label: timing plane leaked into the canonical form." >&2
+        exit 1
+    fi
+    # The Prometheus sibling must exist and carry the count plane.
+    if ! grep -q '^intertubes_serve_submitted_total' "$STATS_DIR/stats_$label.json.prom"; then
+        echo "stats_gate: FAIL — $label: missing or empty Prometheus exposition." >&2
+        exit 1
+    fi
+}
+
+compare_arms() {
+    # compare_arms <baseline-label> <labels...>
+    base="$1"; shift
+    for arm in "$@"; do
+        if ! cmp -s "$STATS_DIR/canon_$base.json" "$STATS_DIR/canon_$arm.json"; then
+            echo "stats_gate: FAIL — canonical stats of $arm differ from $base." >&2
+            echo "The canonicalized count plane (and flight dumps) must be" >&2
+            echo "byte-identical at any thread count and in either cache mode." >&2
+            exit 1
+        fi
+    done
+}
+
+echo "stats_gate: clean replay, $REPLAY queries x {1,2,8} threads x {cache,nocache}..."
+run_arm cache_t1 1 ""
+run_arm cache_t2 2 ""
+run_arm cache_t8 8 ""
+run_arm nocache_t1 1 --no-cache
+run_arm nocache_t2 2 --no-cache
+run_arm nocache_t8 8 --no-cache
+compare_arms cache_t1 cache_t2 cache_t8 nocache_t1 nocache_t2 nocache_t8
+echo "stats_gate: clean count plane byte-identical across all six arms"
+
+echo "stats_gate: chaos (overload) replay across the same six arms..."
+run_arm chaos_cache_t1 1 "" --chaos overload --chaos-report "$STATS_DIR/chaos_report_t1.json"
+run_arm chaos_cache_t2 2 "" --chaos overload --chaos-report /dev/null
+run_arm chaos_cache_t8 8 "" --chaos overload --chaos-report /dev/null
+run_arm chaos_nocache_t1 1 --no-cache --chaos overload --chaos-report /dev/null
+run_arm chaos_nocache_t2 2 --no-cache --chaos overload --chaos-report /dev/null
+run_arm chaos_nocache_t8 8 --no-cache --chaos overload --chaos-report /dev/null
+compare_arms chaos_cache_t1 chaos_cache_t2 chaos_cache_t8 \
+    chaos_nocache_t1 chaos_nocache_t2 chaos_nocache_t8
+echo "stats_gate: chaos count plane + flight dumps byte-identical across all six arms"
+
+# The chaos arms must actually have exercised the fault path: the
+# overload scenario degrades queries and dumps the flight recorder.
+if ! grep -q '"fault_injected"' "$STATS_DIR/stats_chaos_cache_t1.json"; then
+    echo "stats_gate: FAIL — chaos arm recorded no fault_injected flight dump." >&2
+    exit 1
+fi
+if grep -q '"degraded": 0,' "$STATS_DIR/stats_chaos_cache_t1.json"; then
+    echo "stats_gate: FAIL — chaos arm degraded nothing; overload injection is dead." >&2
+    exit 1
+fi
+
+echo "stats_gate: OK"

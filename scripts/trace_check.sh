@@ -8,8 +8,15 @@
 # traceroute overlay, the risk analyses, and all three §5 mitigation
 # solvers — must appear with a well-formed timing/outcome record.
 #
+# The gate then validates the serving-side span sets added since the
+# export pipeline: a `serve` replay must record serve.load, serve.replay,
+# and the scheduler's serve.schedule span; a `scenario` evaluation must
+# record serve.load and scenario.ensemble (`trace_check --profile`).
+#
 # Artifacts land in TRACE_DIR (default trace-gate/) so CI can upload them:
-#   trace-gate/out.jsonl      the structured log + manifest
+#   trace-gate/out.jsonl      the structured log + manifest (export run)
+#   trace-gate/serve.jsonl    the serving replay trace
+#   trace-gate/scenario.jsonl the scenario evaluation trace
 #   trace-gate/metrics.json   the merged metrics registry
 #   trace-gate/artifacts/     the exported study artifacts
 set -eu
@@ -27,4 +34,25 @@ mkdir -p "$TRACE_DIR"
     export "$TRACE_DIR/artifacts"
 
 ./target/release/trace_check "$TRACE_DIR/out.jsonl"
+echo "trace_gate: export profile OK"
+
+echo "trace_gate: freezing a snapshot for the serving profiles..."
+./target/release/intertubes snapshot "$TRACE_DIR/study.snap"
+
+./target/release/intertubes \
+    --trace-json "$TRACE_DIR/serve.jsonl" \
+    serve --snapshot "$TRACE_DIR/study.snap" \
+    --replay 2000 --out "$TRACE_DIR/serve-responses.jsonl" --stats /dev/null
+
+./target/release/trace_check --profile serve "$TRACE_DIR/serve.jsonl"
+echo "trace_gate: serve profile OK"
+
+./target/release/intertubes \
+    --trace-json "$TRACE_DIR/scenario.jsonl" \
+    scenario tests/goldens/hurricane-corridor.scenario.json \
+    --snapshot "$TRACE_DIR/study.snap" --out "$TRACE_DIR/scenario-report.json"
+
+./target/release/trace_check --profile scenario "$TRACE_DIR/scenario.jsonl"
+echo "trace_gate: scenario profile OK"
+
 echo "trace_gate: OK"

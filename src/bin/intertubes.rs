@@ -24,7 +24,11 @@
 //!            --out responses.jsonl     # replay a mixed workload
 //! intertubes serve --snapshot study.snap --chaos flaky-io \
 //!            --chaos-report chaos.json # runtime fault injection (DESIGN.md §11)
+//! intertubes serve --snapshot study.snap --stats-out stats.json
+//!                                      # telemetry: count+timing planes, flight
+//!                                      # recorder, plus stats.json.prom
 //! intertubes query --snapshot study.snap '{"TopShared":{"k":8}}'
+//! intertubes query --snapshot study.snap '"Stats"'  # telemetry self-query
 //! intertubes scenario hurricane.json --snapshot study.snap \
 //!            --out risk.json           # seeded scenario ensemble (DESIGN.md §12)
 //! ```
@@ -103,6 +107,12 @@ fn usage() -> ! {
            --no-cache             disable the result cache\n\
            --out <path>           responses as JSON Lines (default stdout)\n\
            --stats <path>         batch stats JSON (default stdout)\n\
+           --stats-out <path>     telemetry document (intertubes-stats/v1):\n\
+                                  count plane, timing plane, flight recorder;\n\
+                                  also writes <path>.prom (Prometheus text).\n\
+                                  Accepted by serve and query; the canonical\n\
+                                  count plane is embedded in the run manifest\n\
+                                  as run.serve_stats\n\
            --chaos <plan>         runtime fault plan: a JSON file or a built-in\n\
                                   chaos scenario name (torn-write, flaky-io,\n\
                                   bit-rot, poisoned-cache, overload,\n\
@@ -245,6 +255,7 @@ struct ServeOpts {
     cache: bool,
     out: Option<String>,
     stats: Option<String>,
+    stats_out: Option<String>,
     chaos: Option<String>,
     chaos_report: Option<String>,
 }
@@ -260,6 +271,7 @@ fn parse_serve_opts(rest: &[String]) -> ServeOpts {
         cache: true,
         out: None,
         stats: None,
+        stats_out: None,
         chaos: None,
         chaos_report: None,
     };
@@ -311,6 +323,10 @@ fn parse_serve_opts(rest: &[String]) -> ServeOpts {
                 opts.stats = Some(value(rest, i));
                 i += 2;
             }
+            "--stats-out" => {
+                opts.stats_out = Some(value(rest, i));
+                i += 2;
+            }
             "--chaos" => {
                 opts.chaos = Some(value(rest, i));
                 i += 2;
@@ -337,8 +353,15 @@ fn main() {
     let session = obs::Session::begin(ObsConfig::from_env().with_echo());
     let mut fault_plan_doc: Option<serde_json::Value> = None;
     let mut health_doc: Option<serde_json::Value> = None;
+    let mut serve_stats_doc: Option<serde_json::Value> = None;
     let mut topology: Option<TopologyCounts> = None;
-    let exit_status = match run(&inv, &mut fault_plan_doc, &mut health_doc, &mut topology) {
+    let exit_status = match run(
+        &inv,
+        &mut fault_plan_doc,
+        &mut health_doc,
+        &mut serve_stats_doc,
+        &mut topology,
+    ) {
         Ok(()) => 0,
         Err(msg) => {
             obs::event(Level::Error, "cli", &format!("error: {msg}"), &[]);
@@ -355,6 +378,7 @@ fn main() {
         threads: intertubes::parallel::thread_count(),
         exit_status,
         health: health_doc,
+        serve_stats: serve_stats_doc,
     };
     let manifest = obs::build_manifest(&info, &record, topology.as_ref());
     let mut sink_failed = false;
@@ -386,13 +410,16 @@ fn run(
     inv: &Invocation,
     fault_plan_doc: &mut Option<serde_json::Value>,
     health_doc: &mut Option<serde_json::Value>,
+    serve_stats_doc: &mut Option<serde_json::Value>,
     topology: &mut Option<TopologyCounts>,
 ) -> CliResult<()> {
     // The serving commands answer from a frozen snapshot — no world, no
     // corpus, no pipeline.
     match inv.command.as_str() {
-        "serve" => return run_serve(inv, fault_plan_doc, health_doc, topology),
-        "query" => return run_query(inv, topology),
+        "serve" => {
+            return run_serve(inv, fault_plan_doc, health_doc, serve_stats_doc, topology)
+        }
+        "query" => return run_query(inv, serve_stats_doc, topology),
         "scenario" => return run_scenario(inv, topology),
         _ => {}
     }
@@ -633,6 +660,7 @@ fn run_serve(
     inv: &Invocation,
     fault_plan_doc: &mut Option<serde_json::Value>,
     health_doc: &mut Option<serde_json::Value>,
+    serve_stats_doc: &mut Option<serde_json::Value>,
     topology: &mut Option<TopologyCounts>,
 ) -> CliResult<()> {
     let opts = parse_serve_opts(&inv.rest);
@@ -674,7 +702,7 @@ fn run_serve(
     if load_info.is_some() {
         note_topology(&snap, topology);
     }
-    let engine = intertubes::serve::QueryEngine::new(snap);
+    let mut engine = intertubes::serve::QueryEngine::new(snap);
     let workload = intertubes::serve::mixed_workload(
         engine.snapshot(),
         opts.replay,
@@ -688,15 +716,20 @@ fn run_serve(
             enabled: opts.cache,
             ..intertubes::serve::CacheConfig::default()
         },
+        ..intertubes::serve::ServeConfig::default()
     };
+    let telemetry = std::sync::Arc::new(
+        intertubes::serve::ServeTelemetry::with_flight_capacity(cfg.flight_capacity),
+    );
+    engine.attach_telemetry(telemetry.clone());
     let cache = intertubes::serve::ResultCache::new(cfg.cache);
     let (responses, stats, chaos_report) = {
         let mut span = obs::stage("serve.replay");
         span.items("queries", workload.len());
         match &chaos {
             Some(session) => {
-                let (r, s, mut rep) = intertubes::serve::run_batch_chaos(
-                    &engine, &workload, &cfg, &cache, session,
+                let (r, s, mut rep) = intertubes::serve::run_batch_chaos_telemetry(
+                    &engine, &workload, &cfg, &cache, session, &telemetry,
                 );
                 if let Some((source, attempts, backoff)) = load_info {
                     rep.load_attempts = attempts;
@@ -706,7 +739,9 @@ fn run_serve(
                 (r, s, Some(rep))
             }
             None => {
-                let (r, s) = intertubes::serve::run_batch(&engine, &workload, &cfg, &cache);
+                let (r, s) = intertubes::serve::run_batch_telemetry(
+                    &engine, &workload, &cfg, &cache, &telemetry,
+                );
                 (r, s, None)
             }
         }
@@ -751,17 +786,49 @@ fn run_serve(
         }
         *health_doc = Some(rep.health_value());
     }
+    write_stats_out(&telemetry, Some(&cache), opts.stats_out.as_deref(), serve_stats_doc)?;
     Ok(())
 }
 
-fn run_query(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResult<()> {
+/// Writes the telemetry document (and its Prometheus sibling) to
+/// `--stats-out`, and embeds the **canonicalized** form — count plane
+/// only, timing stripped — in the run manifest as `run.serve_stats`.
+fn write_stats_out(
+    telemetry: &intertubes::serve::ServeTelemetry,
+    cache: Option<&intertubes::serve::ResultCache>,
+    stats_out: Option<&str>,
+    serve_stats_doc: &mut Option<serde_json::Value>,
+) -> CliResult<()> {
+    let doc = telemetry.stats_document(cache);
+    *serve_stats_doc = Some(intertubes::serve::canonicalize_stats(&doc));
+    let Some(path) = stats_out else {
+        return Ok(());
+    };
+    write_json(path, &doc)?;
+    let prom_path = format!("{path}.prom");
+    std::fs::write(&prom_path, telemetry.prometheus(cache))
+        .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
+    wrote(&prom_path);
+    Ok(())
+}
+
+fn run_query(
+    inv: &Invocation,
+    serve_stats_doc: &mut Option<serde_json::Value>,
+    topology: &mut Option<TopologyCounts>,
+) -> CliResult<()> {
     let mut snapshot_path: Option<&String> = None;
     let mut query_text: Option<&String> = None;
+    let mut stats_out: Option<&String> = None;
     let mut i = 0;
     while i < inv.rest.len() {
         match inv.rest[i].as_str() {
             "--snapshot" => {
                 snapshot_path = inv.rest.get(i + 1);
+                i += 2;
+            }
+            "--stats-out" => {
+                stats_out = inv.rest.get(i + 1);
                 i += 2;
             }
             _ => {
@@ -776,8 +843,31 @@ fn run_query(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResu
     let query: intertubes::serve::Query = serde_json::from_str(text)
         .map_err(|e| format!("invalid query {text:?}: {e:?}"))?;
     let snap = load_snapshot(path, topology)?;
-    let engine = intertubes::serve::QueryEngine::new(snap);
-    println!("{}", engine.answer(&query).to_canonical_json());
+    let mut engine = intertubes::serve::QueryEngine::new(snap);
+    match stats_out {
+        // With telemetry requested, the one query runs through the
+        // scheduler (one wave of one query) so the telemetry plane
+        // observes it exactly as `serve` would — the response bytes are
+        // identical either way because the engine is pure.
+        Some(stats_path) => {
+            let cfg = intertubes::serve::ServeConfig::default();
+            let telemetry = std::sync::Arc::new(
+                intertubes::serve::ServeTelemetry::with_flight_capacity(cfg.flight_capacity),
+            );
+            engine.attach_telemetry(telemetry.clone());
+            let cache = intertubes::serve::ResultCache::new(cfg.cache);
+            let (responses, _) = intertubes::serve::run_batch_telemetry(
+                &engine,
+                std::slice::from_ref(&query),
+                &cfg,
+                &cache,
+                &telemetry,
+            );
+            println!("{}", responses[0]);
+            write_stats_out(&telemetry, Some(&cache), Some(stats_path), serve_stats_doc)?;
+        }
+        None => println!("{}", engine.answer(&query).to_canonical_json()),
+    }
     Ok(())
 }
 

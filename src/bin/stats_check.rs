@@ -1,0 +1,192 @@
+//! `stats_check` — the CI stats gate's validator.
+//!
+//! Validates an `intertubes-stats/v1` document produced by the CLI's
+//! `--stats-out` flag: the schema tag, the count plane's required fields,
+//! the timing plane's quantile annotations, and the flight recorder's
+//! shape. With `--canonical` it additionally prints the canonicalized
+//! document (timing plane and cache-mode-dependent counters stripped) as
+//! compact JSON on stdout — the byte-comparable form
+//! `scripts/stats_gate.sh` diffs across thread counts and cache modes —
+//! after proving no non-canonical key survived the strip.
+//!
+//! ```sh
+//! intertubes serve --snapshot s.snap --stats-out stats.json
+//! stats_check stats.json                 # validate
+//! stats_check --canonical stats.json > canon.json   # byte-comparable form
+//! ```
+//!
+//! Exit codes: 0 valid, 1 invalid document, 2 usage error.
+
+use serde_json::Value;
+
+/// Keys that must not appear anywhere in a canonicalized document —
+/// mirrors `intertubes_serve::NONCANONICAL_STATS_KEYS`.
+const FORBIDDEN_CANONICAL_KEYS: [&str; 8] = [
+    "timing",
+    "cache",
+    "cache_hits",
+    "cache_misses",
+    "stale_served",
+    "hit_rate",
+    "outcome",
+    "duration_bucket",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("stats_check: {msg}");
+    std::process::exit(1);
+}
+
+/// Recursively strips the non-canonical keys (the same transform as
+/// `intertubes_serve::canonicalize_stats`; duplicated here so the checker
+/// binary stays a pure reader of the on-disk format).
+fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .filter(|(k, _)| !FORBIDDEN_CANONICAL_KEYS.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), canonicalize(v)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Whether any forbidden key survives anywhere in the value.
+fn find_forbidden(value: &Value) -> Option<String> {
+    match value {
+        Value::Object(map) => {
+            for (k, v) in map.iter() {
+                if FORBIDDEN_CANONICAL_KEYS.contains(&k.as_str()) {
+                    return Some(k.clone());
+                }
+                if let Some(found) = find_forbidden(v) {
+                    return Some(found);
+                }
+            }
+            None
+        }
+        Value::Array(items) => items.iter().find_map(find_forbidden),
+        _ => None,
+    }
+}
+
+fn require_u64(obj: &Value, key: &str, ctx: &str) -> u64 {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| fail(&format!("{ctx}.{key} missing or not a u64")))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut canonical = false;
+    if args.first().map(String::as_str) == Some("--canonical") {
+        canonical = true;
+        args.remove(0);
+    }
+    let [path] = args.as_slice() else {
+        eprintln!("usage: stats_check [--canonical] <stats.json>");
+        std::process::exit(2);
+    };
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| fail(&format!("not JSON: {e:?}")));
+
+    if doc.get("schema").and_then(Value::as_str) != Some("intertubes-stats/v1") {
+        fail("schema is not \"intertubes-stats/v1\"");
+    }
+
+    // Count plane: all required aggregates present, internally consistent.
+    let counts = doc
+        .get("counts")
+        .filter(|c| c.is_object())
+        .unwrap_or_else(|| fail("missing counts object"));
+    let submitted = require_u64(counts, "submitted", "counts");
+    let admitted = require_u64(counts, "admitted", "counts");
+    let rejected = require_u64(counts, "rejected", "counts");
+    let waves = require_u64(counts, "waves", "counts");
+    require_u64(counts, "degraded", "counts");
+    require_u64(counts, "health_transitions", "counts");
+    require_u64(counts, "flight_dumps", "counts");
+    if admitted + rejected != submitted {
+        fail(&format!(
+            "counts are inconsistent: admitted {admitted} + rejected {rejected} != submitted {submitted}"
+        ));
+    }
+    let families = counts
+        .get("families")
+        .and_then(Value::as_object)
+        .unwrap_or_else(|| fail("counts.families missing or not an object"));
+    let family_total: u64 = families.values().filter_map(Value::as_u64).sum();
+    if family_total != admitted {
+        fail(&format!(
+            "family counts sum to {family_total}, expected admitted {admitted}"
+        ));
+    }
+    if counts.get("responses").and_then(Value::as_object).is_none() {
+        fail("counts.responses missing or not an object");
+    }
+
+    // Timing plane: present in the *full* document, with quantile
+    // annotations per family histogram.
+    let timing = doc
+        .get("timing")
+        .filter(|t| t.is_object())
+        .unwrap_or_else(|| fail("missing timing object (full document expected)"));
+    let per_family = timing
+        .get("per_family")
+        .and_then(Value::as_object)
+        .unwrap_or_else(|| fail("timing.per_family missing or not an object"));
+    for (family, hist) in per_family.iter() {
+        for q in ["p50_us", "p95_us", "p99_us"] {
+            if hist.get(q).and_then(Value::as_u64).is_none() {
+                fail(&format!("timing.per_family.{family}.{q} missing"));
+            }
+        }
+    }
+    if timing.get("queue_depth").is_none() {
+        fail("timing.queue_depth missing");
+    }
+
+    // Flight recorder shape.
+    let flight = doc
+        .get("flight")
+        .filter(|f| f.is_object())
+        .unwrap_or_else(|| fail("missing flight object"));
+    require_u64(flight, "capacity", "flight");
+    require_u64(flight, "pushed", "flight");
+    let dumps = flight
+        .get("dumps")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| fail("flight.dumps missing or not an array"));
+    for (i, dump) in dumps.iter().enumerate() {
+        if dump.get("reason").and_then(Value::as_str).is_none() {
+            fail(&format!("flight.dumps[{i}].reason missing"));
+        }
+        if dump.get("events").and_then(Value::as_array).is_none() {
+            fail(&format!("flight.dumps[{i}].events missing"));
+        }
+    }
+
+    if canonical {
+        let canon = canonicalize(&doc);
+        if let Some(key) = find_forbidden(&canon) {
+            fail(&format!(
+                "non-canonical key {key:?} survived canonicalization"
+            ));
+        }
+        match serde_json::to_string(&canon) {
+            Ok(text) => println!("{text}"),
+            Err(e) => fail(&format!("cannot serialize canonical form: {e:?}")),
+        }
+    } else {
+        eprintln!(
+            "stats_check: ok — {submitted} submitted, {waves} wave(s), {} familie(s), {} dump(s)",
+            families.len(),
+            dumps.len()
+        );
+    }
+}

@@ -9,7 +9,14 @@
 //! ```sh
 //! intertubes --trace-json out.jsonl export artifacts/
 //! trace_check out.jsonl
+//! trace_check --profile serve serve.jsonl      # serving-run span set
+//! trace_check --profile scenario plan.jsonl    # scenario-run span set
 //! ```
+//!
+//! The `--profile` flag selects which stage-span set the manifest must
+//! contain: `export` (the default — the full pipeline), `serve` (snapshot
+//! load, scheduler, replay), or `scenario` (snapshot load plus the
+//! ensemble evaluation).
 //!
 //! Exit codes: 0 valid, 1 invalid trace, 2 usage error.
 
@@ -19,7 +26,7 @@ use serde_json::Value;
 /// Stages an `export` run must record: the four map-construction steps,
 /// ingest/sanitize, the traceroute overlay, the §4 risk analyses, and all
 /// three §5 mitigation solvers.
-const REQUIRED_STAGES: [&str; 15] = [
+const EXPORT_STAGES: [&str; 15] = [
     "world.generate",
     "corpus.generate",
     "records.sanitize",
@@ -37,17 +44,39 @@ const REQUIRED_STAGES: [&str; 15] = [
     "mitigation.latency",
 ];
 
+/// Stages a `serve` replay must record: the snapshot load, the scheduler's
+/// wave loop, and the replay wrapper around it.
+const SERVE_STAGES: [&str; 3] = ["serve.load", "serve.replay", "serve.schedule"];
+
+/// Stages a `scenario` evaluation must record.
+const SCENARIO_STAGES: [&str; 2] = ["serve.load", "scenario.ensemble"];
+
 fn fail(msg: &str) -> ! {
     eprintln!("trace_check: {msg}");
     std::process::exit(1);
 }
 
+fn usage() -> ! {
+    eprintln!("usage: trace_check [--profile export|serve|scenario] <trace.jsonl>");
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [path] = args.as_slice() else {
-        eprintln!("usage: trace_check <trace.jsonl>");
-        std::process::exit(2);
-    };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut required: &[&str] = &EXPORT_STAGES;
+    if args.first().map(String::as_str) == Some("--profile") {
+        if args.len() < 2 {
+            usage();
+        }
+        required = match args[1].as_str() {
+            "export" => &EXPORT_STAGES,
+            "serve" => &SERVE_STAGES,
+            "scenario" => &SCENARIO_STAGES,
+            _ => usage(),
+        };
+        args.drain(..2);
+    }
+    let [path] = args.as_slice() else { usage() };
 
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -78,7 +107,7 @@ fn main() {
     {
         fail("manifest records a non-zero exit status");
     }
-    if let Err(problems) = validate_manifest(&manifest, &REQUIRED_STAGES) {
+    if let Err(problems) = validate_manifest(&manifest, required) {
         for p in &problems {
             eprintln!("trace_check: {p}");
         }

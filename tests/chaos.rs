@@ -16,9 +16,9 @@ use intertubes::degrade::DegradationPolicy;
 use intertubes::faults::{FaultFamily, FaultPlan};
 use intertubes::parallel::with_threads;
 use intertubes::serve::{
-    load_with, mixed_workload, run_batch, run_batch_chaos, save_with, CacheConfig, ChaosSession,
-    Health, HealthTrace, QueryEngine, RealIo, ResultCache, RetryPolicy, ServeConfig,
-    StudySnapshot,
+    load_with, mixed_workload, run_batch, run_batch_chaos, run_batch_chaos_telemetry, save_with,
+    CacheConfig, ChaosSession, Health, HealthTrace, QueryEngine, RealIo, ResultCache, RetryPolicy,
+    ServeConfig, ServeTelemetry, StudySnapshot,
 };
 use intertubes::Study;
 
@@ -277,7 +277,9 @@ fn poisoned_cache_recomputes_identical_bytes() {
     let plan = FaultPlan::new(3).with(FaultFamily::CachePoison, 1.0);
     let cache = ResultCache::new(cfg.cache);
     let session = ChaosSession::new(plan, DegradationPolicy::Lenient);
-    let (responses, _, report) = run_batch_chaos(&eng, &queries, &cfg, &cache, &session);
+    let telemetry = ServeTelemetry::new();
+    let (responses, _, report) =
+        run_batch_chaos_telemetry(&eng, &queries, &cfg, &cache, &session, &telemetry);
     assert_eq!(
         responses, clean,
         "poisoned entries must be recomputed, not served"
@@ -290,6 +292,37 @@ fn poisoned_cache_recomputes_identical_bytes() {
         report.cache_poison_detected > 0,
         "poisoned entries must be detected on lookup"
     );
+
+    // The poison counters flow end to end: the cache separates injected
+    // corruption from detected corruption, the chaos report agrees with
+    // the cache's own ledger, and the stats document surfaces both.
+    assert!(
+        cache.poison_injected() > 0,
+        "poison_shard must count the entries it corrupts"
+    );
+    let detected = cache.stats().poison_detected();
+    assert_eq!(
+        detected, report.cache_poison_detected,
+        "cache shard stats and the chaos report must agree on detections"
+    );
+    assert!(
+        detected <= cache.poison_injected(),
+        "an entry is detected at most once per injection"
+    );
+    let doc = telemetry.stats_document(Some(&cache));
+    let cache_block = doc.get("cache").expect("stats document has a cache block");
+    assert_eq!(
+        cache_block.get("poison_injected").and_then(|v| v.as_u64()),
+        Some(cache.poison_injected())
+    );
+    assert_eq!(
+        cache_block.get("poison_detected").and_then(|v| v.as_u64()),
+        Some(detected)
+    );
+    // ...and stays out of the canonical form, like every cache-mode-
+    // dependent counter (a disabled cache cannot be poisoned).
+    let canon = intertubes::serve::canonicalize_stats(&doc);
+    assert!(canon.get("cache").is_none(), "cache block is non-canonical");
 }
 
 /// The health machine: a fault degrades, two clean waves recover, and

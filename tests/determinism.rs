@@ -165,6 +165,7 @@ fn canonical_run(threads: usize) -> (String, String) {
             threads: intertubes::parallel::thread_count(),
             exit_status: 0,
             health: None,
+            serve_stats: None,
         };
         let topology = obs::TopologyCounts {
             nodes: s.nodes,
@@ -225,6 +226,7 @@ fn canonical_faulted_run(
             threads: intertubes::parallel::thread_count(),
             exit_status,
             health: None,
+            serve_stats: None,
         };
         let manifest = obs::build_manifest(&info, &record, None);
         serde_json::to_string(&obs::canonicalize(&manifest))
