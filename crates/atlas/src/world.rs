@@ -216,7 +216,9 @@ fn perturb_geometry(rng: &mut StdRng, geometry: &Polyline, max_km: f64) -> Polyl
             out.push(p.destination(bearing, d));
         }
     }
-    Polyline::new(out).expect("same arity as input")
+    // Same arity as the (valid) densified input, so construction cannot
+    // fail; keep the unperturbed geometry rather than panicking regardless.
+    Polyline::new(out).unwrap_or(dense)
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@
 //!
 //! The sub-crates are re-exported as modules: [`geo`], [`graph`], [`atlas`],
 //! [`records`], [`map`], [`probes`], [`risk`], [`mitigation`],
-//! [`scenario`], [`serve`].
+//! [`scenario`], [`serve`], [`net`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +48,7 @@ pub use intertubes_geo as geo;
 pub use intertubes_graph as graph;
 pub use intertubes_map as map;
 pub use intertubes_mitigation as mitigation;
+pub use intertubes_net as net;
 pub use intertubes_obs as obs;
 pub use intertubes_parallel as parallel;
 pub use intertubes_probes as probes;

@@ -28,9 +28,12 @@
 //! group** (torn snapshot writes, section bit-flips, transient I/O errors,
 //! slow reads, cache-shard poisoning, overload bursts) consumed by the
 //! serving layer's `ChaosIo` wrapper and scheduler hooks — see
-//! `intertubes-serve::chaos`. The injectors in this crate never apply
-//! runtime families; they are listed in [`FaultFamily::RUNTIME`] and
-//! share the same seeded-stream discipline.
+//! `intertubes-serve::chaos` — plus three **transport** families (torn
+//! frames, slow-loris partial writes, mid-stream disconnects) consumed by
+//! the remote front-end's wire chaos layer (`intertubes-net`). The
+//! injectors in this crate never apply runtime families; they are listed
+//! in [`FaultFamily::RUNTIME`] and share the same seeded-stream
+//! discipline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -92,11 +95,22 @@ pub enum FaultFamily {
     /// Runtime: a scheduler wave is hit by an overload burst, forcing the
     /// tail of the queue into degraded responses.
     OverloadBurst,
+    /// Runtime (transport): a response frame is torn mid-write — the
+    /// connection closes after a prefix of the frame's bytes are sent.
+    /// Consumed by `intertubes-net`'s transport chaos layer.
+    TornFrame,
+    /// Runtime (transport): a response is dribbled out in tiny partial
+    /// writes across poll ticks (slow-loris). Timing-only — frame bytes
+    /// are unchanged, so responses stay byte-identical.
+    SlowLoris,
+    /// Runtime (transport): the connection is dropped before the response
+    /// frame is written, forcing the client to reconnect and resend.
+    Disconnect,
 }
 
 impl FaultFamily {
     /// All families, in declaration order.
-    pub const ALL: [FaultFamily; 17] = [
+    pub const ALL: [FaultFamily; 20] = [
         FaultFamily::NanCoordinates,
         FaultFamily::OutOfRangeCoordinates,
         FaultFamily::DropLinks,
@@ -114,6 +128,9 @@ impl FaultFamily {
         FaultFamily::SlowRead,
         FaultFamily::CachePoison,
         FaultFamily::OverloadBurst,
+        FaultFamily::TornFrame,
+        FaultFamily::SlowLoris,
+        FaultFamily::Disconnect,
     ];
 
     /// The input-stage families applied by this crate's injectors.
@@ -131,14 +148,18 @@ impl FaultFamily {
         FaultFamily::DisconnectTransport,
     ];
 
-    /// The runtime families consumed by the serving layer's chaos hooks.
-    pub const RUNTIME: [FaultFamily; 6] = [
+    /// The runtime families consumed by the serving layer's chaos hooks
+    /// and (for the last three) the remote transport's chaos layer.
+    pub const RUNTIME: [FaultFamily; 9] = [
         FaultFamily::TornSnapshotWrite,
         FaultFamily::SnapshotBitFlip,
         FaultFamily::TransientIo,
         FaultFamily::SlowRead,
         FaultFamily::CachePoison,
         FaultFamily::OverloadBurst,
+        FaultFamily::TornFrame,
+        FaultFamily::SlowLoris,
+        FaultFamily::Disconnect,
     ];
 
     /// Whether this family belongs to the runtime (serving-layer) group.
@@ -166,6 +187,9 @@ impl FaultFamily {
             FaultFamily::SlowRead => "slow-read",
             FaultFamily::CachePoison => "cache-poison",
             FaultFamily::OverloadBurst => "overload-burst",
+            FaultFamily::TornFrame => "torn-frame",
+            FaultFamily::SlowLoris => "slow-loris",
+            FaultFamily::Disconnect => "disconnect",
         }
     }
 
@@ -190,6 +214,9 @@ impl FaultFamily {
             FaultFamily::SlowRead => 0xFF,
             FaultFamily::CachePoison => 0x1A,
             FaultFamily::OverloadBurst => 0x2B,
+            FaultFamily::TornFrame => 0x3C,
+            FaultFamily::SlowLoris => 0x4D,
+            FaultFamily::Disconnect => 0x5E,
         }
     }
 }
@@ -470,9 +497,12 @@ impl FaultPlan {
     }
 
     /// Named built-in **runtime** chaos scenarios, consumed by the serving
-    /// layer (`serve --chaos <name>`), `scripts/chaos_gate.sh`, and the
-    /// chaos battery in `tests/chaos.rs`. Each exercises one runtime fault
-    /// family; `"chaos-everything"` composes all six.
+    /// layer (`serve --chaos <name>`), the remote transport's chaos layer
+    /// (`serve --listen --chaos <name>`), `scripts/chaos_gate.sh`,
+    /// `scripts/remote_gate.sh`, and the chaos battery in `tests/chaos.rs`.
+    /// Most exercise one runtime fault family; `"torn-frame"` mixes the
+    /// three transport families, and `"chaos-everything"` composes every
+    /// runtime family.
     pub fn built_in_chaos_scenarios() -> Vec<(&'static str, FaultPlan)> {
         vec![
             (
@@ -502,6 +532,16 @@ impl FaultPlan {
                 FaultPlan::new(2015).with(FaultFamily::OverloadBurst, 0.4),
             ),
             (
+                // The transport chaos arm: torn response frames plus the
+                // two companion wire families, at rates the remote gate's
+                // retrying clients are expected to ride out byte-identically.
+                "torn-frame",
+                FaultPlan::new(2015)
+                    .with(FaultFamily::TornFrame, 0.2)
+                    .with(FaultFamily::SlowLoris, 0.15)
+                    .with(FaultFamily::Disconnect, 0.1),
+            ),
+            (
                 "chaos-everything",
                 FaultPlan::new(2015)
                     .with(FaultFamily::TornSnapshotWrite, 0.3)
@@ -509,7 +549,10 @@ impl FaultPlan {
                     .with(FaultFamily::TransientIo, 0.25)
                     .with(FaultFamily::SlowRead, 0.2)
                     .with(FaultFamily::CachePoison, 0.25)
-                    .with(FaultFamily::OverloadBurst, 0.3),
+                    .with(FaultFamily::OverloadBurst, 0.3)
+                    .with(FaultFamily::TornFrame, 0.15)
+                    .with(FaultFamily::SlowLoris, 0.1)
+                    .with(FaultFamily::Disconnect, 0.1),
             ),
         ]
     }

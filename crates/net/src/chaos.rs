@@ -1,0 +1,153 @@
+//! Transport-layer fault injection (DESIGN.md §14.5).
+//!
+//! Extends the runtime chaos discipline (`intertubes-serve::chaos`) to the
+//! wire: the three transport families of the `FaultPlan` DSL — torn
+//! frames, slow-loris partial writes, mid-stream disconnects — are applied
+//! by the **server** when a response frame is queued. Decisions are pure
+//! functions of `(plan seed, family, connection ordinal, frame ordinal)`
+//! via splitmix64, never of wall-clock, matching the seeded-stream rule
+//! every other injector follows.
+//!
+//! Torn frames and disconnects destroy the response in flight; the client
+//! rides them out by reconnecting and resending (the engine is pure, so
+//! the retried answer is byte-identical). Slow-loris only changes *pacing*
+//! — the bytes are intact — so it needs no retry at all. That is what the
+//! remote gate's chaos arm byte-compares against a clean run.
+
+use intertubes_faults::{FaultFamily, FaultPlan};
+use intertubes_serve::splitmix64;
+
+/// What the injector decided for one queued response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Send a prefix of the frame, then close the connection.
+    TornFrame,
+    /// Send the whole frame, but dribbled a few bytes per poll tick.
+    SlowLoris,
+    /// Close the connection before any byte of the frame is sent.
+    Disconnect,
+}
+
+impl TransportFault {
+    /// Stable label (server report, diagnostics).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportFault::TornFrame => "torn-frame",
+            TransportFault::SlowLoris => "slow-loris",
+            TransportFault::Disconnect => "disconnect",
+        }
+    }
+}
+
+/// Seeded decision table for the three transport families.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportChaos {
+    seed: u64,
+    torn: f64,
+    loris: f64,
+    disconnect: f64,
+}
+
+impl TransportChaos {
+    /// Captures the plan's transport rates (clamped by `FaultPlan::rate`).
+    /// Returns `None` when the plan carries no transport families — the
+    /// clean-path server then skips the injector entirely.
+    pub fn from_plan(plan: &FaultPlan) -> Option<TransportChaos> {
+        let torn = plan.rate(FaultFamily::TornFrame);
+        let loris = plan.rate(FaultFamily::SlowLoris);
+        let disconnect = plan.rate(FaultFamily::Disconnect);
+        if torn <= 0.0 && loris <= 0.0 && disconnect <= 0.0 {
+            return None;
+        }
+        Some(TransportChaos {
+            seed: plan.seed,
+            torn,
+            loris,
+            disconnect,
+        })
+    }
+
+    /// One seeded uniform draw in `[0, 1)` per (family-tag, conn, frame).
+    fn draw(&self, tag: u64, conn: u64, frame: u64) -> f64 {
+        let mut c = conn.wrapping_add(1);
+        let mut f = frame.wrapping_add(0x5151_5151);
+        let mut state = self.seed
+            ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ splitmix64(&mut c)
+            ^ splitmix64(&mut f);
+        let mixed = splitmix64(&mut state);
+        // 53 high bits → uniform double in [0, 1).
+        (mixed >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides the fate of response frame `frame` on connection `conn`
+    /// (both server-assigned ordinals). Families are tried in declaration
+    /// order — disconnect, torn, slow-loris — and at most one fires, so
+    /// composed plans stay well-defined.
+    pub fn decide(&self, conn: u64, frame: u64) -> Option<TransportFault> {
+        if self.draw(0x0D15, conn, frame) < self.disconnect {
+            return Some(TransportFault::Disconnect);
+        }
+        if self.draw(0x702A, conn, frame) < self.torn {
+            return Some(TransportFault::TornFrame);
+        }
+        if self.draw(0x5105, conn, frame) < self.loris {
+            return Some(TransportFault::SlowLoris);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plans_build_no_injector() {
+        assert!(TransportChaos::from_plan(&FaultPlan::new(1)).is_none());
+        let snapshot_only = FaultPlan::new(1).with(FaultFamily::TornSnapshotWrite, 0.9);
+        assert!(TransportChaos::from_plan(&snapshot_only).is_none());
+    }
+
+    #[test]
+    fn decisions_are_seeded_and_rate_bounded() {
+        let plan = FaultPlan::new(77)
+            .with(FaultFamily::TornFrame, 0.25)
+            .with(FaultFamily::Disconnect, 0.1);
+        let chaos = TransportChaos::from_plan(&plan).unwrap();
+        let run = |chaos: &TransportChaos| -> Vec<Option<TransportFault>> {
+            (0..400).map(|i| chaos.decide(i / 40, i)).collect()
+        };
+        // Same seed → same decision vector.
+        assert_eq!(run(&chaos), run(&TransportChaos::from_plan(&plan).unwrap()));
+        let outcomes = run(&chaos);
+        let fired = outcomes.iter().flatten().count();
+        assert!(fired > 0, "rates this high must fire over 400 frames");
+        assert!(fired < 400, "faults must not fire on every frame");
+        // SlowLoris has rate 0 here and must never fire.
+        assert!(!outcomes
+            .iter()
+            .flatten()
+            .any(|f| *f == TransportFault::SlowLoris));
+        // A different seed decides differently somewhere.
+        let other = TransportChaos::from_plan(
+            &FaultPlan::new(78)
+                .with(FaultFamily::TornFrame, 0.25)
+                .with(FaultFamily::Disconnect, 0.1),
+        )
+        .unwrap();
+        assert_ne!(outcomes, run(&other));
+    }
+
+    #[test]
+    fn built_in_torn_frame_scenario_drives_the_injector() {
+        let plan = FaultPlan::built_in_chaos_scenarios()
+            .into_iter()
+            .find(|(name, _)| *name == "torn-frame")
+            .map(|(_, plan)| plan)
+            .unwrap();
+        let chaos = TransportChaos::from_plan(&plan).unwrap();
+        let fired = (0..200).filter(|i| chaos.decide(0, *i).is_some()).count();
+        assert!(fired > 0);
+    }
+}

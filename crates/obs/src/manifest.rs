@@ -45,6 +45,11 @@ pub struct RunInfo {
     /// elsewhere. Embedding only the canonical form keeps the manifest
     /// itself byte-comparable across thread counts and cache modes.
     pub serve_stats: Option<Value>,
+    /// Per-tenant admission aggregates (`submitted` / `admitted` /
+    /// `quota_rejected` counts keyed by tenant id), when the run fronted
+    /// the remote serving transport; `None` elsewhere. Counts only — like
+    /// `serve_stats`, nothing wall-clock-dependent belongs here.
+    pub tenants: Option<Value>,
 }
 
 /// The headline topology counts (§2 of the paper: the reference
@@ -154,6 +159,10 @@ pub fn build_manifest(
     run.insert(
         "serve_stats".to_string(),
         info.serve_stats.clone().unwrap_or(Value::Null),
+    );
+    run.insert(
+        "tenants".to_string(),
+        info.tenants.clone().unwrap_or(Value::Null),
     );
 
     let mut environment = Map::new();
@@ -354,6 +363,31 @@ pub fn validate_manifest(manifest: &Value, required_stages: &[&str]) -> Result<(
                 }
                 other => problem(format!("run.serve_stats invalid: {other:?}")),
             }
+            match run.get("tenants") {
+                // Absent is tolerated for pre-§14 traces; when present it
+                // must map tenant ids to objects of unsigned counts.
+                None | Some(Value::Null) => {}
+                Some(Value::Object(tenants)) => {
+                    for (tenant, counts) in tenants.iter() {
+                        match counts.as_object() {
+                            Some(counts) => {
+                                for (key, count) in counts.iter() {
+                                    if count.as_u64().is_none() {
+                                        problem(format!(
+                                            "run.tenants[{tenant}].{key} is not an \
+                                             unsigned integer"
+                                        ));
+                                    }
+                                }
+                            }
+                            None => problem(format!(
+                                "run.tenants[{tenant}] is not an object"
+                            )),
+                        }
+                    }
+                }
+                other => problem(format!("run.tenants invalid: {other:?}")),
+            }
         }
         _ => problem("run section missing".to_string()),
     }
@@ -490,6 +524,7 @@ mod tests {
             exit_status: 0,
             health: None,
             serve_stats: None,
+            tenants: None,
         }
     }
 
@@ -585,6 +620,44 @@ mod tests {
             Ok(()) => panic!("a timing plane must be rejected"),
         };
         assert!(problems.iter().any(|p| p.contains("timing")));
+    }
+
+    #[test]
+    fn tenants_embed_accepts_count_maps_and_rejects_junk() {
+        let record = sample_record();
+        let mut info = sample_info();
+
+        // A map of tenant → unsigned counts validates and survives
+        // canonicalization (it is count-plane data, like serve_stats).
+        let mut counts = Map::new();
+        counts.insert("submitted".to_string(), uint(10));
+        counts.insert("quota_rejected".to_string(), uint(4));
+        let mut tenants = Map::new();
+        tenants.insert("acme".to_string(), Value::Object(counts));
+        info.tenants = Some(Value::Object(tenants));
+        let manifest = build_manifest(&info, &record, None);
+        validate_manifest(&manifest, &[]).unwrap_or_else(|problems| {
+            panic!("tenant counts should validate: {problems:?}")
+        });
+        let canon = canonicalize(&manifest);
+        assert_eq!(
+            canon["run"]["tenants"]["acme"]["quota_rejected"].as_u64(),
+            Some(4)
+        );
+
+        // Non-integer counts are a schema violation.
+        let mut bad = Map::new();
+        bad.insert(
+            "acme".to_string(),
+            serde_json::json!({ "submitted": "lots" }),
+        );
+        info.tenants = Some(Value::Object(bad));
+        let manifest = build_manifest(&info, &record, None);
+        let problems = match validate_manifest(&manifest, &[]) {
+            Err(problems) => problems,
+            Ok(()) => panic!("string counts must be rejected"),
+        };
+        assert!(problems.iter().any(|p| p.contains("tenants")));
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct QueryEngine {
     /// engine only *reads* it — all writes happen in the scheduler's
     /// serial phases — so `answer` stays pure from the workers' view.
     telemetry: Option<Arc<ServeTelemetry>>,
+    /// The tenant-visible snapshot id folded into every cache key
+    /// (DESIGN.md §14.3), so a shared cache serving several loaded
+    /// snapshots never aliases identical queries across worlds.
+    snapshot_id: String,
 }
 
 impl QueryEngine {
@@ -100,12 +104,24 @@ impl QueryEngine {
             landmarks,
             scenario_pairs,
             telemetry: None,
+            snapshot_id: "default".to_string(),
         }
     }
 
     /// Attaches the telemetry sink [`Query::Stats`] answers read from.
     pub fn attach_telemetry(&mut self, telemetry: Arc<ServeTelemetry>) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Sets the tenant-visible snapshot id the scheduler scopes cache
+    /// keys with. Single-snapshot callers keep the `"default"` scope.
+    pub fn set_snapshot_id(&mut self, id: impl Into<String>) {
+        self.snapshot_id = id.into();
+    }
+
+    /// The tenant-visible snapshot id.
+    pub fn snapshot_id(&self) -> &str {
+        &self.snapshot_id
     }
 
     /// The attached telemetry sink, if any.

@@ -22,6 +22,10 @@
 //!   deterministic, mergeable **count plane**, a wall-clock **timing
 //!   plane** excluded from every canonical digest, and a bounded flight
 //!   recorder of recent query events;
+//! * [`tenant`] — per-tenant token-bucket admission quotas enforced by
+//!   the remote front-end (`intertubes-net`) ahead of queue-position
+//!   admission, ticking in request-count time so decisions are
+//!   interleaving-independent (DESIGN.md §14.4);
 //! * [`chaos`] — runtime fault injection (`ChaosSession` over the
 //!   `FaultPlan` runtime families), crash-safe snapshot persistence
 //!   (temp-write → verify → fsync → atomic rename, with `.tmp`/`.bak`
@@ -44,6 +48,7 @@ pub mod query;
 pub mod scheduler;
 pub mod snapshot;
 pub mod telemetry;
+pub mod tenant;
 pub mod workload;
 
 pub use cache::{CacheConfig, CacheStats, ResultCache, ShardStats};
@@ -53,16 +58,17 @@ pub use chaos::{
 };
 pub use engine::QueryEngine;
 pub use index::{build_landmarks, PairPaths, PathIndex, PathSummary};
-pub use query::{canonical_key, key_hash, normalize, Query, Response, StatsView};
+pub use query::{canonical_key, key_hash, normalize, scoped_key, Query, Response, StatsView};
 pub use scheduler::{
     run_batch, run_batch_chaos, run_batch_chaos_telemetry, run_batch_telemetry, ServeConfig,
     ServeStats,
 };
 pub use telemetry::{
     canonicalize_stats, duration_bucket, response_kind, CacheOutcome, CountPlane, FlightDump,
-    FlightEvent, FlightRecorder, QueryFamily, ServeTelemetry, TimingPlane,
+    FlightEvent, FlightRecorder, QueryFamily, ServeTelemetry, TenantCounts, TimingPlane,
     DEFAULT_FLIGHT_CAPACITY, MAX_FLIGHT_DUMPS, NONCANONICAL_STATS_KEYS, STATS_SCHEMA,
 };
+pub use tenant::{quota_rejection, QuotaConfig, QuotaDecision, TenantQuotas};
 pub use snapshot::{
     fnv1a64, section_bounds, SectionBounds, SnapshotError, StudySnapshot, SNAPSHOT_MAGIC,
     SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMA_V2,

@@ -94,6 +94,17 @@ pub fn key_hash(key: &str) -> u64 {
     fnv1a64(key.as_bytes())
 }
 
+/// The snapshot-scoped cache key: the canonical key prefixed with the
+/// tenant-visible snapshot id, so identical queries against different
+/// loaded snapshots never alias in a shared cache (DESIGN.md §14.3). The
+/// id is JSON-escaped through `serde_json`, so no id can collide with
+/// another id/query combination by embedding delimiter characters.
+pub fn scoped_key(snapshot_id: &str, q: &Query) -> String {
+    // A string and a data enum; serialization cannot fail.
+    let id = serde_json::to_string(snapshot_id).unwrap_or_default();
+    format!("{{\"snapshot\":{id},\"query\":{}}}", canonical_key(q))
+}
+
 /// One provider's §4 risk profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IspRiskView {
@@ -351,6 +362,20 @@ mod tests {
         let text = serde_json::to_string(&q).unwrap();
         let back: Query = serde_json::from_str(&text).unwrap();
         assert_eq!(q, back);
+    }
+
+    #[test]
+    fn scoped_key_separates_snapshots_and_defeats_injection() {
+        let q = Query::TopShared { k: 4 };
+        let base = scoped_key("default", &q);
+        assert_ne!(base, scoped_key("other", &q));
+        assert_eq!(base, scoped_key("default", &normalize(&q)));
+        // An id full of JSON delimiters still produces a distinct,
+        // well-formed key rather than aliasing another snapshot's slot.
+        let hostile = scoped_key("a\",\"query\":{}", &q);
+        assert_ne!(hostile, base);
+        let parsed: serde_json::Value = serde_json::from_str(&hostile).unwrap();
+        assert_eq!(parsed["snapshot"], "a\",\"query\":{}");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //!
 //! Within a wave the schedule is decide–compute–assemble:
 //!
-//! 1. **decide** (serial): compute each query's canonical key, consult the
-//!    cache, and deduplicate identical keys within the wave;
+//! 1. **decide** (serial): compute each query's snapshot-scoped canonical
+//!    key, consult the cache, and deduplicate identical keys within the
+//!    wave;
 //! 2. **compute** (parallel): answer the unique missing queries via
 //!    `par_map`, which preserves input order;
 //! 3. **assemble** (serial): fill the response vector in queue order and
@@ -42,7 +43,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{CacheConfig, ResultCache};
 use crate::chaos::{ChaosReport, ChaosSession, Health, HealthTrace};
 use crate::engine::QueryEngine;
-use crate::query::{canonical_key, key_hash, Query, Response};
+use crate::query::{key_hash, scoped_key, Query, Response};
 use crate::telemetry::{CacheOutcome, QueryFamily, ServeTelemetry};
 
 /// Scheduler knobs.
@@ -275,7 +276,10 @@ fn serve_batch(
         for qi in wave_start..wave_end {
             let query = &queries[qi];
             let family = QueryFamily::of(query);
-            let key = canonical_key(query);
+            // Cache keys are scoped by the engine's snapshot id so a
+            // registry serving several snapshots through one shared cache
+            // never aliases identical queries across worlds.
+            let key = scoped_key(engine.snapshot_id(), query);
             let khash = key_hash(&key);
             // Graceful-degradation tier: shed by queue position. Never a
             // silent drop — the query gets a Degraded response, with the

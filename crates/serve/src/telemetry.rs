@@ -337,6 +337,38 @@ impl FlightRecorder {
     }
 }
 
+/// One tenant's count-plane aggregates (DESIGN.md §14.4). Written by the
+/// remote front-end's serial routing phase; local replay never populates
+/// the map, so local stats documents are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounts {
+    /// Frames submitted by this tenant.
+    pub submitted: u64,
+    /// Frames past the tenant's quota gate.
+    pub admitted: u64,
+    /// Frames answered with a quota `Rejected` response (never drops).
+    pub quota_rejected: u64,
+}
+
+impl TenantCounts {
+    /// Sum-merge (associative and commutative, like every count field).
+    pub fn merge(&mut self, other: &TenantCounts) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.quota_rejected += other.quota_rejected;
+    }
+
+    /// JSON rendering with fixed key order.
+    pub fn to_json(&self) -> Value {
+        let uint = |n: u64| Value::Number(Number::UInt(n));
+        let mut obj = Map::new();
+        obj.insert("submitted".to_string(), uint(self.submitted));
+        obj.insert("admitted".to_string(), uint(self.admitted));
+        obj.insert("quota_rejected".to_string(), uint(self.quota_rejected));
+        Value::Object(obj)
+    }
+}
+
 /// The deterministic counter plane. Only ever written from the
 /// scheduler's serial phases; mergeable with the same algebra as
 /// [`intertubes_obs::MetricsSnapshot`].
@@ -367,6 +399,9 @@ pub struct CountPlane {
     pub families: BTreeMap<String, u64>,
     /// Responses produced per variant name.
     pub responses: BTreeMap<String, u64>,
+    /// Per-tenant admission aggregates from the remote front-end's quota
+    /// gate (empty for local replay).
+    pub tenants: BTreeMap<String, TenantCounts>,
 }
 
 impl CountPlane {
@@ -389,6 +424,9 @@ impl CountPlane {
         }
         for (k, n) in &other.responses {
             *self.responses.entry(k.clone()).or_insert(0) += n;
+        }
+        for (k, t) in &other.tenants {
+            self.tenants.entry(k.clone()).or_default().merge(t);
         }
     }
 
@@ -418,6 +456,11 @@ impl CountPlane {
         obj.insert("cache_misses".to_string(), uint(self.cache_misses));
         obj.insert("families".to_string(), map_json(&self.families));
         obj.insert("responses".to_string(), map_json(&self.responses));
+        let mut tenants = Map::new();
+        for (k, t) in &self.tenants {
+            tenants.insert(k.clone(), t.to_json());
+        }
+        obj.insert("tenants".to_string(), Value::Object(tenants));
         Value::Object(obj)
     }
 }
@@ -547,6 +590,20 @@ impl ServeTelemetry {
     /// Counts a stale cached answer served alongside a degraded response.
     pub fn note_stale_served(&self) {
         self.lock().counts.stale_served += 1;
+    }
+
+    /// Accounts one tenant's frame through the remote quota gate
+    /// (DESIGN.md §14.4): exactly one of `admitted`/`quota_rejected` per
+    /// submitted frame. Called from the server's serial routing phase.
+    pub fn note_tenant(&self, tenant: &str, admitted: bool) {
+        let mut inner = self.lock();
+        let t = inner.counts.tenants.entry(tenant.to_string()).or_default();
+        t.submitted += 1;
+        if admitted {
+            t.admitted += 1;
+        } else {
+            t.quota_rejected += 1;
+        }
     }
 
     /// Records the health machine's transition count (set, not summed —
@@ -778,6 +835,18 @@ impl ServeTelemetry {
                 "intertubes_serve_responses_total{{kind=\"{kind}\"}} {n}\n"
             ));
         }
+        out.push_str("# TYPE intertubes_serve_tenant_frames_total counter\n");
+        for (tenant, t) in &c.tenants {
+            for (outcome, n) in [
+                ("submitted", t.submitted),
+                ("admitted", t.admitted),
+                ("quota_rejected", t.quota_rejected),
+            ] {
+                out.push_str(&format!(
+                    "intertubes_serve_tenant_frames_total{{tenant=\"{tenant}\",outcome=\"{outcome}\"}} {n}\n"
+                ));
+            }
+        }
         out.push_str("# TYPE intertubes_serve_latency_us summary\n");
         for (family, h) in &inner.timing.per_family {
             for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
@@ -869,6 +938,14 @@ mod tests {
                 ..CountPlane::default()
             };
             p.families.insert(fam.to_string(), s);
+            p.tenants.insert(
+                fam.to_string(),
+                TenantCounts {
+                    submitted: s,
+                    admitted: s,
+                    quota_rejected: 0,
+                },
+            );
             p
         };
         let (a, b, c) = (mk(1, "latency"), mk(2, "isp_risk"), mk(3, "latency"));
@@ -892,6 +969,34 @@ mod tests {
         let mut with_empty = a.clone();
         with_empty.merge(&CountPlane::default());
         assert_eq!(with_empty, a);
+    }
+
+    #[test]
+    fn note_tenant_splits_admits_and_quota_rejections() {
+        let telemetry = ServeTelemetry::with_flight_capacity(8);
+        telemetry.note_tenant("alpha", true);
+        telemetry.note_tenant("alpha", false);
+        telemetry.note_tenant("beta", true);
+        let counts = telemetry.counts();
+        assert_eq!(
+            counts.tenants.get("alpha"),
+            Some(&TenantCounts {
+                submitted: 2,
+                admitted: 1,
+                quota_rejected: 1,
+            })
+        );
+        assert_eq!(counts.tenants.get("beta").map(|t| t.quota_rejected), Some(0));
+        // The tenant aggregates are canonical: they survive
+        // canonicalize_stats and render in fixed key order.
+        let doc = telemetry.stats_document(None);
+        let canon = canonicalize_stats(&doc);
+        assert!(canon["counts"]["tenants"]["alpha"]["quota_rejected"].is_number());
+        // And they show up in the Prometheus rendering.
+        let prom = telemetry.prometheus(None);
+        assert!(prom.contains(
+            "intertubes_serve_tenant_frames_total{tenant=\"alpha\",outcome=\"quota_rejected\"} 1"
+        ));
     }
 
     #[test]

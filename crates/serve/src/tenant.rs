@@ -1,0 +1,236 @@
+//! Per-tenant admission quotas (DESIGN.md §14.4).
+//!
+//! The wave scheduler's admission control is position-based and
+//! tenant-blind: one hot tenant flooding the queue pushes everyone else's
+//! queries past `admit_max`. The remote front-end therefore enforces a
+//! **per-tenant token bucket** *ahead* of queue-position admission: a
+//! tenant over its quota receives a typed [`crate::query::Response::Rejected`]
+//! answer (never a drop, never a closed connection) and the query never
+//! occupies a queue slot another tenant could have used.
+//!
+//! Buckets tick in **request-count time**, not wall-clock time: every
+//! `window` requests *from that tenant*, `refill` tokens are added (capped
+//! at `burst`). A tenant's quota decisions are therefore a pure function
+//! of its own request index — independent of scheduling, thread count, and
+//! cross-tenant interleaving — which is what lets the remote determinism
+//! gate byte-compare quota outcomes across 1/2/8 concurrent clients.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Quota shape shared by every tenant of one serving process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuotaConfig {
+    /// Bucket capacity: the largest burst a tenant can spend at once.
+    /// `0` disables quota enforcement entirely (every request admitted).
+    pub burst: u64,
+    /// Tokens returned to the bucket each time a tenant's own request
+    /// count crosses a `window` boundary.
+    pub refill: u64,
+    /// The request-count period (in requests from that tenant) between
+    /// refills. Clamped to ≥ 1.
+    pub window: u64,
+}
+
+impl Default for QuotaConfig {
+    /// Unlimited: the default serving configuration enforces no quota, so
+    /// single-tenant and local replay behavior is unchanged.
+    fn default() -> Self {
+        QuotaConfig {
+            burst: 0,
+            refill: 0,
+            window: 1,
+        }
+    }
+}
+
+impl QuotaConfig {
+    /// A quota admitting `burst` queries up front and `refill` more per
+    /// `window` requests thereafter.
+    pub fn limited(burst: u64, refill: u64, window: u64) -> QuotaConfig {
+        QuotaConfig {
+            burst,
+            refill,
+            window: window.max(1),
+        }
+    }
+
+    /// Whether this config enforces anything.
+    pub fn is_unlimited(&self) -> bool {
+        self.burst == 0
+    }
+}
+
+/// One tenant's bucket state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bucket {
+    /// Tokens currently available.
+    tokens: u64,
+    /// Requests seen from this tenant (drives request-count refills).
+    seen: u64,
+}
+
+/// What the gate decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// Within quota — proceed to queue-position admission.
+    Admitted,
+    /// Over quota — answer with a typed `Rejected` response.
+    Rejected,
+}
+
+/// The per-tenant admission gate. Single-owner mutable state: the remote
+/// server consults it from its serial routing phase, so no locking.
+#[derive(Debug, Clone)]
+pub struct TenantQuotas {
+    cfg: QuotaConfig,
+    buckets: BTreeMap<String, Bucket>,
+}
+
+impl TenantQuotas {
+    /// A gate where every tenant gets an identical `cfg` bucket.
+    pub fn new(cfg: QuotaConfig) -> TenantQuotas {
+        TenantQuotas {
+            cfg,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// The shared quota shape.
+    pub fn config(&self) -> QuotaConfig {
+        self.cfg
+    }
+
+    /// Gates one request from `tenant`. Refills are applied before the
+    /// spend, so a tenant that paced itself to its refill rate is never
+    /// rejected. Deterministic: the outcome depends only on `cfg` and how
+    /// many requests this tenant has made before this one.
+    pub fn admit(&mut self, tenant: &str) -> QuotaDecision {
+        if self.cfg.is_unlimited() {
+            return QuotaDecision::Admitted;
+        }
+        let bucket = self
+            .buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| Bucket {
+                tokens: self.cfg.burst,
+                seen: 0,
+            });
+        bucket.seen += 1;
+        // Request-count refill: one refill each time the tenant's own
+        // request count crosses a window boundary.
+        if bucket.seen % self.cfg.window == 0 {
+            bucket.tokens = (bucket.tokens + self.cfg.refill).min(self.cfg.burst);
+        }
+        if bucket.tokens > 0 {
+            bucket.tokens -= 1;
+            QuotaDecision::Admitted
+        } else {
+            QuotaDecision::Rejected
+        }
+    }
+
+    /// Tokens `tenant` has left (the full burst for a tenant never seen).
+    pub fn remaining(&self, tenant: &str) -> u64 {
+        if self.cfg.is_unlimited() {
+            return u64::MAX;
+        }
+        self.buckets
+            .get(tenant)
+            .map_or(self.cfg.burst, |b| b.tokens)
+    }
+
+    /// Tenants the gate has seen, in name order.
+    pub fn tenants(&self) -> impl Iterator<Item = &str> {
+        self.buckets.keys().map(String::as_str)
+    }
+}
+
+/// The canonical `Rejected` reason for a quota rejection — shared by the
+/// server and the tests so byte-comparison is meaningful.
+pub fn quota_rejection(tenant: &str, cfg: &QuotaConfig) -> String {
+    format!(
+        "tenant {tenant:?} over quota (burst {}, refill {}/{} requests)",
+        cfg.burst, cfg.refill, cfg.window
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let mut q = TenantQuotas::new(QuotaConfig::default());
+        for _ in 0..10_000 {
+            assert_eq!(q.admit("any"), QuotaDecision::Admitted);
+        }
+        assert_eq!(q.remaining("any"), u64::MAX);
+    }
+
+    #[test]
+    fn burst_then_reject_then_refill() {
+        // 3-token burst, 1 token back every 4 requests.
+        let mut q = TenantQuotas::new(QuotaConfig::limited(3, 1, 4));
+        let outcomes: Vec<bool> = (0..8)
+            .map(|_| q.admit("t") == QuotaDecision::Admitted)
+            .collect();
+        // Requests 1–3 spend the burst; request 4 crosses the window
+        // boundary (refill 1) and spends it; 5–7 find the bucket empty;
+        // request 8 refills again and is admitted.
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut q = TenantQuotas::new(QuotaConfig::limited(2, 0, 1));
+        // Tenant A saturates its bucket...
+        assert_eq!(q.admit("a"), QuotaDecision::Admitted);
+        assert_eq!(q.admit("a"), QuotaDecision::Admitted);
+        assert_eq!(q.admit("a"), QuotaDecision::Rejected);
+        // ...without costing tenant B a single token.
+        assert_eq!(q.remaining("b"), 2);
+        assert_eq!(q.admit("b"), QuotaDecision::Admitted);
+        assert_eq!(q.admit("b"), QuotaDecision::Admitted);
+    }
+
+    #[test]
+    fn decisions_are_interleaving_independent() {
+        let cfg = QuotaConfig::limited(2, 1, 3);
+        // Serve A's and B's request streams in two different interleavings
+        // and check each tenant sees the same per-request outcome vector.
+        let serial = {
+            let mut q = TenantQuotas::new(cfg);
+            let a: Vec<_> = (0..6).map(|_| q.admit("a")).collect();
+            let b: Vec<_> = (0..6).map(|_| q.admit("b")).collect();
+            (a, b)
+        };
+        let interleaved = {
+            let mut q = TenantQuotas::new(cfg);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for _ in 0..6 {
+                b.push(q.admit("b"));
+                a.push(q.admit("a"));
+            }
+            (a, b)
+        };
+        assert_eq!(serial, interleaved);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut q = TenantQuotas::new(QuotaConfig::limited(2, 5, 1));
+        // Every request refills 5 but the bucket never exceeds 2, so the
+        // tenant can never burst past its cap no matter how long it idles
+        // in request-count time.
+        for _ in 0..20 {
+            assert_eq!(q.admit("t"), QuotaDecision::Admitted);
+        }
+        assert!(q.remaining("t") <= 2);
+    }
+}

@@ -1,7 +1,9 @@
-//! An interactive-style what-if session against the serving layer: freeze
-//! (or load) a study snapshot, find the §4.2 chokepoints, then sever the
-//! top-k most heavily shared conduits and report who is affected and what
-//! the surviving routes cost in delay (DESIGN.md §9).
+//! A what-if session over the real remote front-end: freeze (or load) a
+//! study snapshot, stand up the framed-TCP serving loop in-process, and
+//! run the conduit-cut conversation as two tenants of the same server —
+//! an analyst doing the §4.2/§5.3 reading over the wire, and an "ops"
+//! tenant that floods past its admission quota to show what a typed
+//! rejection looks like (DESIGN.md §14).
 //!
 //! ```sh
 //! cargo run --release --example query_server              # freeze in-process
@@ -10,10 +12,12 @@
 //! ```
 //!
 //! The second form pairs with the CLI: `intertubes snapshot s.snap` once,
-//! then this example (and `intertubes serve`/`query`) answer from the
-//! frozen artifact in milliseconds instead of rebuilding the study.
+//! then this example (and `intertubes serve --listen`/`query --connect`)
+//! answer from the frozen artifact in milliseconds instead of rebuilding
+//! the study. Every answer below arrived as an `intertubes-wire/v1` frame.
 
-use intertubes::serve::{Query, QueryEngine, Response, StudySnapshot};
+use intertubes::net::{NetClient, NetServer, SnapshotRegistry};
+use intertubes::serve::{Query, QueryEngine, QuotaConfig, Response, ServeConfig, StudySnapshot};
 use intertubes::Study;
 
 fn main() {
@@ -34,11 +38,55 @@ fn main() {
             Study::reference().snapshot(Some(5_000))
         }
     };
-    let engine = QueryEngine::new(snap);
+
+    // Stand up the front-end: one snapshot under the id "study", a quota
+    // generous enough for the analyst's session (2 requests against a
+    // burst of 4) but small enough for the 12-request flood below to hit
+    // the wall.
+    let mut registry = SnapshotRegistry::new();
+    registry.insert("study", QueryEngine::new(snap), ServeConfig::default());
+    let server = match NetServer::new(registry)
+        .with_quota(QuotaConfig::limited(4, 2, 8))
+        .spawn("127.0.0.1:0")
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start the serving front-end: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.addr();
+    println!("serving snapshot \"study\" on {addr} (intertubes-wire/v1)\n");
+
+    let mut analyst = match NetClient::new(addr, "analyst") {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut next_id = 0u64;
+    let mut ask = |client: &mut NetClient, query: &Query| -> Response {
+        next_id += 1;
+        let reply = match client.request("study", next_id, query) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        match serde_json::from_str(reply.payload()) {
+            Ok(response) => response,
+            Err(_) => {
+                eprintln!("unexpected answer: {}", reply.payload());
+                std::process::exit(1);
+            }
+        }
+    };
 
     // Step 1: the §4.2 ranking — which trenches carry the most providers?
     println!("== The {k} most heavily shared conduits (§4.2) ==\n");
-    let ranking = match engine.answer(&Query::TopShared { k }) {
+    let ranking = match ask(&mut analyst, &Query::TopShared { k }) {
         Response::TopShared(view) => view.ranking,
         other => {
             eprintln!("unexpected answer: {}", other.to_canonical_json());
@@ -55,7 +103,7 @@ fn main() {
     // Step 2: the what-if — sever all of them at once.
     let cut: Vec<u32> = ranking.iter().map(|r| r.conduit).collect();
     println!("\n== What if all {k} were cut simultaneously? ==\n");
-    let impact = match engine.answer(&Query::CutImpact { conduits: cut }) {
+    let impact = match ask(&mut analyst, &Query::CutImpact { conduits: cut }) {
         Response::CutImpact(view) => view,
         other => {
             eprintln!("unexpected answer: {}", other.to_canonical_json());
@@ -102,5 +150,47 @@ fn main() {
     }
     if impact.pair_deltas.len() > 12 {
         println!("  … and {} more pairs", impact.pair_deltas.len() - 12);
+    }
+
+    // Step 4: a second tenant floods past its token bucket. The analyst's
+    // session above spent the analyst's tokens, not ops' — quotas are per
+    // tenant — and the over-quota answers are typed rejections, not drops.
+    println!("\n== A second tenant (\"ops\") floods past its quota ==\n");
+    let mut ops = match NetClient::new(addr, "ops") {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut admitted = 0usize;
+    let mut rejected = 0usize;
+    let mut first_rejection: Option<String> = None;
+    for i in 0..12u64 {
+        match ask(&mut ops, &Query::TopShared { k: 1 }) {
+            Response::Rejected { reason } => {
+                rejected += 1;
+                if first_rejection.is_none() {
+                    first_rejection = Some(reason);
+                }
+            }
+            _ => admitted += 1,
+        }
+        let _ = i;
+    }
+    println!("12 rapid-fire requests: {admitted} admitted, {rejected} rejected");
+    if let Some(reason) = first_rejection {
+        println!("first rejection: {reason}");
+    }
+
+    analyst.close();
+    ops.close();
+    match server.stop() {
+        Ok(report) => println!(
+            "\nserver report: {} frame(s), {} response(s), {} quota rejection(s), \
+             {} session(s)",
+            report.frames, report.responses, report.quota_rejected, report.sessions_closed
+        ),
+        Err(e) => eprintln!("server stop failed: {e}"),
     }
 }

@@ -1,0 +1,124 @@
+#!/usr/bin/env sh
+# Determinism gate for the remote serving front-end (DESIGN.md §14).
+#
+# Freezes two distinct study worlds into snapshots, stands up one framed-
+# TCP server routing both ids, and replays the fixed mixed workload over
+# the wire at 1, 2, and 8 concurrent client connections — every arm must
+# byte-match the local (in-process) replay of the same snapshot. A second
+# server runs with the result cache disabled, and a third with the seeded
+# `torn-frame` chaos plan injecting transport faults; neither may change
+# a response byte. Finally the `bench_remote` harness re-checks digests
+# internally and records multi-client throughput to BENCH_remote.json;
+# the gate fails if any required field is missing from the record.
+#
+# The servers exit on their own: `--sessions N` counts client-initiated
+# closes, and every `query --connect --clients K` run contributes exactly
+# K of them (chaos disconnects are server-initiated and do not count).
+set -eu
+
+WORK=remote-gate
+REPLAY=2000
+
+cd "$(dirname "$0")/.."
+mkdir -p "$WORK"
+rm -f "$WORK"/*.addr
+
+cargo build --release -q --bin intertubes
+cargo build --release -q -p intertubes-bench --bin bench_remote
+
+echo "remote_gate: freezing two study worlds..."
+./target/release/intertubes snapshot "$WORK/ref.snap"
+./target/release/intertubes --seed 42 snapshot "$WORK/alt.snap"
+
+echo "remote_gate: local replay baselines..."
+./target/release/intertubes serve --snapshot "$WORK/ref.snap" \
+    --replay "$REPLAY" --out "$WORK/local_ref.jsonl" --stats /dev/null
+./target/release/intertubes serve --snapshot "$WORK/alt.snap" \
+    --replay "$REPLAY" --out "$WORK/local_alt.jsonl" --stats /dev/null
+
+# Waits for --addr-file to appear, then echoes the bound address.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "remote_gate: FAIL — server never wrote $1" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    cat "$1"
+}
+
+# One server per cache mode (the cache is a server-side property); each
+# serves BOTH snapshots and expects (1+2+8) sessions x 2 snapshots = 22.
+for mode in cache nocache; do
+    extra=""
+    [ "$mode" = "nocache" ] && extra="--no-cache"
+    echo "remote_gate: $mode server, 1/2/8 clients x 2 snapshots..."
+    timeout 600 ./target/release/intertubes serve \
+        --snapshot "ref=$WORK/ref.snap" --snapshot "alt=$WORK/alt.snap" \
+        --listen 127.0.0.1:0 --addr-file "$WORK/$mode.addr" \
+        --sessions 22 --stats /dev/null $extra &
+    server=$!
+    addr=$(wait_addr "$WORK/$mode.addr")
+    for snap in ref alt; do
+        for clients in 1 2 8; do
+            ./target/release/intertubes query --connect "$addr" \
+                --tenant gate --snapshot-id "$snap" \
+                --workload-from "$WORK/$snap.snap" --replay "$REPLAY" \
+                --clients "$clients" --out "$WORK/${mode}_${snap}_c${clients}.jsonl"
+            if ! cmp -s "$WORK/local_$snap.jsonl" \
+                        "$WORK/${mode}_${snap}_c${clients}.jsonl"; then
+                echo "remote_gate: FAIL — ${mode}_${snap}_c${clients}.jsonl differs" >&2
+                echo "from the local replay. Remote responses must be" >&2
+                echo "byte-identical at any client count, with the cache on" >&2
+                echo "or off, for every routed snapshot (DESIGN.md §14)." >&2
+                kill "$server" 2>/dev/null || true
+                exit 1
+            fi
+        done
+    done
+    wait "$server"
+done
+echo "remote_gate: responses byte-identical across 1/2/8 clients, 2 snapshots, cache on/off"
+
+# Chaos arm: the seeded torn-frame plan tears frames, stalls reads, and
+# drops connections mid-session; the client retries and the merged
+# responses must still byte-match the clean local replay.
+echo "remote_gate: seeded torn-frame chaos arm..."
+timeout 600 ./target/release/intertubes serve \
+    --snapshot "ref=$WORK/ref.snap" \
+    --listen 127.0.0.1:0 --addr-file "$WORK/chaos.addr" \
+    --sessions 2 --chaos torn-frame --stats /dev/null &
+server=$!
+addr=$(wait_addr "$WORK/chaos.addr")
+./target/release/intertubes query --connect "$addr" \
+    --tenant gate --snapshot-id ref \
+    --workload-from "$WORK/ref.snap" --replay "$REPLAY" \
+    --clients 2 --out "$WORK/chaos_ref_c2.jsonl"
+wait "$server"
+if ! cmp -s "$WORK/local_ref.jsonl" "$WORK/chaos_ref_c2.jsonl"; then
+    echo "remote_gate: FAIL — torn-frame chaos changed a response byte." >&2
+    echo "Transport faults may slow a session but must never alter" >&2
+    echo "what the engine answers (DESIGN.md §14.6)." >&2
+    exit 1
+fi
+echo "remote_gate: chaos arm byte-identical to the clean local replay"
+
+./target/release/bench_remote > BENCH_remote.json
+echo "remote_gate: wrote BENCH_remote.json"
+
+# bench_remote exits nonzero on a digest mismatch, so reaching this point
+# means its six arms agreed too; still verify the record is complete.
+for field in replay local_digest deterministic queries_per_sec frames; do
+    if ! grep -q "\"$field\"" BENCH_remote.json; then
+        echo "remote_gate: FAIL — BENCH_remote.json is missing \"$field\"." >&2
+        exit 1
+    fi
+done
+if grep -q '"deterministic": false' BENCH_remote.json; then
+    echo "remote_gate: FAIL — bench_remote recorded a nondeterministic run." >&2
+    exit 1
+fi
+echo "remote_gate: OK"

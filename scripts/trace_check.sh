@@ -11,12 +11,16 @@
 # The gate then validates the serving-side span sets added since the
 # export pipeline: a `serve` replay must record serve.load, serve.replay,
 # and the scheduler's serve.schedule span; a `scenario` evaluation must
-# record serve.load and scenario.ensemble (`trace_check --profile`).
+# record serve.load and scenario.ensemble; a `serve --listen` session
+# driven by one remote query must record the transport spans net.accept,
+# net.frame, and net.route alongside serve.load and serve.schedule
+# (`trace_check --profile`).
 #
 # Artifacts land in TRACE_DIR (default trace-gate/) so CI can upload them:
 #   trace-gate/out.jsonl      the structured log + manifest (export run)
 #   trace-gate/serve.jsonl    the serving replay trace
 #   trace-gate/scenario.jsonl the scenario evaluation trace
+#   trace-gate/remote.jsonl   the framed-TCP front-end trace
 #   trace-gate/metrics.json   the merged metrics registry
 #   trace-gate/artifacts/     the exported study artifacts
 set -eu
@@ -54,5 +58,29 @@ echo "trace_gate: serve profile OK"
 
 ./target/release/trace_check --profile scenario "$TRACE_DIR/scenario.jsonl"
 echo "trace_gate: scenario profile OK"
+
+rm -f "$TRACE_DIR/remote.addr"
+timeout 600 ./target/release/intertubes \
+    --trace-json "$TRACE_DIR/remote.jsonl" \
+    serve --snapshot "study=$TRACE_DIR/study.snap" \
+    --listen 127.0.0.1:0 --addr-file "$TRACE_DIR/remote.addr" \
+    --sessions 1 --stats /dev/null &
+REMOTE_PID=$!
+i=0
+while [ ! -s "$TRACE_DIR/remote.addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "trace_gate: FAIL — remote server never wrote its address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+./target/release/intertubes query \
+    --connect "$(cat "$TRACE_DIR/remote.addr")" --snapshot-id study \
+    '{"TopShared":{"k":3}}' > /dev/null
+wait "$REMOTE_PID"
+
+./target/release/trace_check --profile remote "$TRACE_DIR/remote.jsonl"
+echo "trace_gate: remote profile OK"
 
 echo "trace_gate: OK"

@@ -92,8 +92,15 @@ fn usage() -> ! {
                                   faults from a plan file or built-in name)\n\
            serve --snapshot <path> [serve flags]\n\
                                   replay a deterministic mixed workload\n\
+           serve --listen <addr> --snapshot [id=]<path>... [serve flags]\n\
+                                  remote front-end: frame protocol over TCP,\n\
+                                  snapshot routing, per-tenant quotas\n\
+                                  (DESIGN.md section 14)\n\
            query --snapshot <path> <query-json>\n\
                                   answer one query from a snapshot\n\
+           query --connect <addr> [query flags] [<query-json>]\n\
+                                  answer over the wire: one query, or a\n\
+                                  replayed workload split over --clients\n\
            scenario <plan.json> --snapshot <path> [--out <path>]\n\
                                   evaluate a geofenced scenario ensemble\n\
                                   (DESIGN.md section 12); the report goes to\n\
@@ -115,9 +122,32 @@ fn usage() -> ! {
                                   as run.serve_stats\n\
            --chaos <plan>         runtime fault plan: a JSON file or a built-in\n\
                                   chaos scenario name (torn-write, flaky-io,\n\
-                                  bit-rot, poisoned-cache, overload,\n\
-                                  chaos-everything)\n\
-           --chaos-report <path>  chaos report (ledger + health trace) JSON"
+                                  bit-rot, poisoned-cache, overload, torn-frame,\n\
+                                  chaos-everything); under --listen the plan's\n\
+                                  transport families (torn-frame, slow-loris,\n\
+                                  disconnect) drive the wire injector\n\
+           --chaos-report <path>  chaos report (ledger + health trace) JSON\n\
+         serve --listen flags:\n\
+           --listen <addr>        bind address (port 0 picks an ephemeral port)\n\
+           --addr-file <path>     write the resolved listen address (scripts\n\
+                                  discover the ephemeral port here)\n\
+           --sessions N           exit after N client-initiated session closes\n\
+                                  (without it the server runs forever)\n\
+           --quota-burst N        per-tenant token-bucket size (0 = unlimited)\n\
+           --quota-refill N       tokens restored per refill window\n\
+           --quota-window N       refill window, in requests of that tenant\n\
+                                  (request-count time keeps quota decisions\n\
+                                  deterministic)\n\
+         query flags (with --connect):\n\
+           --tenant <id>          tenant id stamped into every frame\n\
+                                  (default \"cli\")\n\
+           --snapshot-id <id>     snapshot id to route to (default \"default\")\n\
+           --clients N            split the workload over N concurrent\n\
+                                  connections (default 1)\n\
+           --workload-from <path> generate the mixed workload from this local\n\
+                                  snapshot (with --replay/--workload-seed)\n\
+                                  instead of sending one query\n\
+           --out <path>           responses as JSON Lines (default stdout)"
     );
     std::process::exit(2);
 }
@@ -211,10 +241,19 @@ fn parse_args() -> Invocation {
         | "annotated" | "whatif" | "export" | "snapshot" => {
             Some(args.get(1).cloned().unwrap_or_else(|| usage()))
         }
-        "serve" | "query" => {
+        "serve" => {
             // Shape check only (exit 2 now); flag values are validated by
             // the command handler (exit 3 — they concern data on disk).
+            // The remote front-end (--listen) still serves snapshots, so
+            // at least one --snapshot is required either way.
             if !args.iter().any(|a| a == "--snapshot") {
+                usage()
+            }
+            None
+        }
+        "query" => {
+            // Local answers need a snapshot; remote answers need a server.
+            if !args.iter().any(|a| a == "--snapshot" || a == "--connect") {
                 usage()
             }
             None
@@ -246,7 +285,9 @@ fn parse_args() -> Invocation {
 
 /// `serve` command flags (everything after the command word).
 struct ServeOpts {
-    snapshot: String,
+    /// `--snapshot` values: a single path for local replay, or repeated
+    /// `[id=]path` specs for the remote front-end.
+    snapshots: Vec<String>,
     replay: usize,
     workload_seed: u64,
     queue: usize,
@@ -258,11 +299,20 @@ struct ServeOpts {
     stats_out: Option<String>,
     chaos: Option<String>,
     chaos_report: Option<String>,
+    /// `--listen <addr>`: run the remote front-end instead of a replay.
+    listen: Option<String>,
+    /// `--addr-file <path>`: write the resolved listen address.
+    addr_file: Option<String>,
+    /// `--sessions N`: exit after N client-initiated session closes.
+    sessions: Option<u64>,
+    quota_burst: u64,
+    quota_refill: u64,
+    quota_window: u64,
 }
 
 fn parse_serve_opts(rest: &[String]) -> ServeOpts {
     let mut opts = ServeOpts {
-        snapshot: String::new(),
+        snapshots: Vec::new(),
         replay: 10_000,
         workload_seed: 2026,
         queue: 256,
@@ -274,6 +324,12 @@ fn parse_serve_opts(rest: &[String]) -> ServeOpts {
         stats_out: None,
         chaos: None,
         chaos_report: None,
+        listen: None,
+        addr_file: None,
+        sessions: None,
+        quota_burst: 0,
+        quota_refill: 1,
+        quota_window: 1,
     };
     let mut i = 0;
     let value = |rest: &[String], i: usize| -> String {
@@ -288,7 +344,31 @@ fn parse_serve_opts(rest: &[String]) -> ServeOpts {
     while i < rest.len() {
         match rest[i].as_str() {
             "--snapshot" => {
-                opts.snapshot = value(rest, i);
+                opts.snapshots.push(value(rest, i));
+                i += 2;
+            }
+            "--listen" => {
+                opts.listen = Some(value(rest, i));
+                i += 2;
+            }
+            "--addr-file" => {
+                opts.addr_file = Some(value(rest, i));
+                i += 2;
+            }
+            "--sessions" => {
+                opts.sessions = Some(number(rest, i, "--sessions"));
+                i += 2;
+            }
+            "--quota-burst" => {
+                opts.quota_burst = number(rest, i, "--quota-burst");
+                i += 2;
+            }
+            "--quota-refill" => {
+                opts.quota_refill = number(rest, i, "--quota-refill");
+                i += 2;
+            }
+            "--quota-window" => {
+                opts.quota_window = number(rest, i, "--quota-window");
                 i += 2;
             }
             "--replay" => {
@@ -338,8 +418,12 @@ fn parse_serve_opts(rest: &[String]) -> ServeOpts {
             _ => usage(),
         }
     }
-    if opts.snapshot.is_empty() {
+    if opts.snapshots.is_empty() {
         usage();
+    }
+    if opts.listen.is_none() && opts.snapshots.len() > 1 {
+        eprintln!("multiple --snapshot entries need --listen (local replay serves one)");
+        std::process::exit(2);
     }
     opts
 }
@@ -354,12 +438,14 @@ fn main() {
     let mut fault_plan_doc: Option<serde_json::Value> = None;
     let mut health_doc: Option<serde_json::Value> = None;
     let mut serve_stats_doc: Option<serde_json::Value> = None;
+    let mut tenants_doc: Option<serde_json::Value> = None;
     let mut topology: Option<TopologyCounts> = None;
     let exit_status = match run(
         &inv,
         &mut fault_plan_doc,
         &mut health_doc,
         &mut serve_stats_doc,
+        &mut tenants_doc,
         &mut topology,
     ) {
         Ok(()) => 0,
@@ -379,6 +465,7 @@ fn main() {
         exit_status,
         health: health_doc,
         serve_stats: serve_stats_doc,
+        tenants: tenants_doc,
     };
     let manifest = obs::build_manifest(&info, &record, topology.as_ref());
     let mut sink_failed = false;
@@ -411,13 +498,21 @@ fn run(
     fault_plan_doc: &mut Option<serde_json::Value>,
     health_doc: &mut Option<serde_json::Value>,
     serve_stats_doc: &mut Option<serde_json::Value>,
+    tenants_doc: &mut Option<serde_json::Value>,
     topology: &mut Option<TopologyCounts>,
 ) -> CliResult<()> {
     // The serving commands answer from a frozen snapshot — no world, no
     // corpus, no pipeline.
     match inv.command.as_str() {
         "serve" => {
-            return run_serve(inv, fault_plan_doc, health_doc, serve_stats_doc, topology)
+            return run_serve(
+                inv,
+                fault_plan_doc,
+                health_doc,
+                serve_stats_doc,
+                tenants_doc,
+                topology,
+            )
         }
         "query" => return run_query(inv, serve_stats_doc, topology),
         "scenario" => return run_scenario(inv, topology),
@@ -661,9 +756,13 @@ fn run_serve(
     fault_plan_doc: &mut Option<serde_json::Value>,
     health_doc: &mut Option<serde_json::Value>,
     serve_stats_doc: &mut Option<serde_json::Value>,
+    tenants_doc: &mut Option<serde_json::Value>,
     topology: &mut Option<TopologyCounts>,
 ) -> CliResult<()> {
     let opts = parse_serve_opts(&inv.rest);
+    if opts.listen.is_some() {
+        return run_serve_listen(&opts, fault_plan_doc, serve_stats_doc, tenants_doc, topology);
+    }
     let chaos = match &opts.chaos {
         Some(spec) => {
             let (plan, doc) = resolve_chaos_plan(spec)?;
@@ -674,6 +773,9 @@ fn run_serve(
         }
         None => None,
     };
+    // Local replay serves exactly one snapshot (parse_serve_opts rejects
+    // more without --listen).
+    let snapshot_path = opts.snapshots.first().cloned().unwrap_or_default();
     // Under chaos the load itself is fault-injected: resilient load with
     // `.tmp`/`.bak` salvage and policy-driven retry. A salvage is a
     // degradation event, recorded against wave 0 (pre-batch).
@@ -682,7 +784,7 @@ fn run_serve(
             let mut span = obs::stage("serve.load");
             let report = intertubes::serve::load_with(
                 session,
-                Path::new(&opts.snapshot),
+                Path::new(&snapshot_path),
                 &session.retry_policy(),
             )
             .map_err(|e| e.to_string())?;
@@ -697,7 +799,7 @@ fn run_serve(
             let info = (report.source, report.attempts, report.backoff_us);
             (report.snapshot, Some(info))
         }
-        None => (load_snapshot(&opts.snapshot, topology)?, None),
+        None => (load_snapshot(&snapshot_path, topology)?, None),
     };
     if load_info.is_some() {
         note_topology(&snap, topology);
@@ -790,6 +892,125 @@ fn run_serve(
     Ok(())
 }
 
+/// Splits a `--snapshot [id=]path` spec. Without an explicit id the file
+/// stem names the snapshot (`study.snap` → `"study"`), falling back to
+/// `"default"` for unstemmable paths.
+fn split_snapshot_spec(spec: &str) -> (String, String) {
+    if let Some((id, path)) = spec.split_once('=') {
+        if !id.is_empty() && !id.contains(std::path::MAIN_SEPARATOR) {
+            return (id.to_string(), path.to_string());
+        }
+    }
+    let id = Path::new(spec)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "default".to_string());
+    (id, spec.to_string())
+}
+
+/// `serve --listen`: the remote front-end (DESIGN.md §14). Loads every
+/// `--snapshot [id=]path` into one registry, binds the listener, and runs
+/// the poll loop in the foreground until `--sessions` is satisfied. The
+/// shared telemetry's canonical count plane (with its per-tenant
+/// aggregates) lands in the run manifest as `run.serve_stats` /
+/// `run.tenants`.
+fn run_serve_listen(
+    opts: &ServeOpts,
+    fault_plan_doc: &mut Option<serde_json::Value>,
+    serve_stats_doc: &mut Option<serde_json::Value>,
+    tenants_doc: &mut Option<serde_json::Value>,
+    topology: &mut Option<TopologyCounts>,
+) -> CliResult<()> {
+    use intertubes::net::{netpoll::NbListener, NetServer, SnapshotRegistry};
+
+    let listen = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
+    let chaos_plan = match &opts.chaos {
+        Some(spec) => {
+            let (plan, doc) = resolve_chaos_plan(spec)?;
+            if fault_plan_doc.is_none() {
+                *fault_plan_doc = Some(doc);
+            }
+            Some(plan)
+        }
+        None => None,
+    };
+    let cfg = intertubes::serve::ServeConfig {
+        queue_capacity: opts.queue,
+        admit_max: opts.admit_max,
+        deadline_us: opts.deadline_us,
+        cache: intertubes::serve::CacheConfig {
+            enabled: opts.cache,
+            ..intertubes::serve::CacheConfig::default()
+        },
+        ..intertubes::serve::ServeConfig::default()
+    };
+    let telemetry = std::sync::Arc::new(
+        intertubes::serve::ServeTelemetry::with_flight_capacity(cfg.flight_capacity),
+    );
+    let mut registry = SnapshotRegistry::with_telemetry(telemetry.clone());
+    for spec in &opts.snapshots {
+        let (id, path) = split_snapshot_spec(spec);
+        let snap = load_snapshot(&path, topology)?;
+        registry.insert(&id, intertubes::serve::QueryEngine::new(snap), cfg);
+        obs::event(
+            Level::Info,
+            "net",
+            &format!("serving snapshot {id:?} from {path}"),
+            &[],
+        );
+    }
+    let mut server = NetServer::new(registry);
+    if opts.quota_burst > 0 {
+        server = server.with_quota(intertubes::serve::QuotaConfig::limited(
+            opts.quota_burst,
+            opts.quota_refill,
+            opts.quota_window,
+        ));
+    }
+    if let Some(plan) = &chaos_plan {
+        server = server.with_chaos(plan);
+    }
+    if let Some(n) = opts.sessions {
+        server = server.with_session_limit(n);
+    }
+    let listener =
+        NbListener::bind(listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let local = listener.local_addr();
+    if let Some(path) = &opts.addr_file {
+        std::fs::write(path, local.to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    obs::event(Level::Info, "net", &format!("listening on {local}"), &[]);
+    let report = server
+        .run(&listener)
+        .map_err(|e| format!("serve loop failed: {e}"))?;
+    obs::event(
+        Level::Info,
+        "net",
+        &format!(
+            "served {} frame(s) over {} connection(s): {} response(s), \
+             {} error frame(s), {} quota rejection(s), {} fault(s) injected",
+            report.frames,
+            report.accepted,
+            report.responses,
+            report.errors,
+            report.quota_rejected,
+            report.chaos_injected
+        ),
+        &[],
+    );
+    write_stats_out(&telemetry, None, opts.stats_out.as_deref(), serve_stats_doc)?;
+    // The per-tenant aggregates double as run.tenants — the manifest's
+    // remote-tenancy record.
+    *tenants_doc = serve_stats_doc
+        .as_ref()
+        .and_then(|doc| doc.get("counts"))
+        .and_then(|counts| counts.get("tenants"))
+        .cloned();
+    Ok(())
+}
+
 /// Writes the telemetry document (and its Prometheus sibling) to
 /// `--stats-out`, and embeds the **canonicalized** form — count plane
 /// only, timing stripped — in the run manifest as `run.serve_stats`.
@@ -820,6 +1041,17 @@ fn run_query(
     let mut snapshot_path: Option<&String> = None;
     let mut query_text: Option<&String> = None;
     let mut stats_out: Option<&String> = None;
+    let mut connect: Option<&String> = None;
+    let mut tenant = "cli".to_string();
+    let mut snapshot_id = "default".to_string();
+    let mut clients: usize = 1;
+    let mut workload_from: Option<&String> = None;
+    let mut replay: usize = 10_000;
+    let mut workload_seed: u64 = 2026;
+    let mut out: Option<&String> = None;
+    let value = |rest: &[String], i: usize| -> String {
+        rest.get(i + 1).cloned().unwrap_or_else(|| usage())
+    };
     let mut i = 0;
     while i < inv.rest.len() {
         match inv.rest[i].as_str() {
@@ -831,11 +1063,66 @@ fn run_query(
                 stats_out = inv.rest.get(i + 1);
                 i += 2;
             }
+            "--connect" => {
+                connect = inv.rest.get(i + 1);
+                i += 2;
+            }
+            "--tenant" => {
+                tenant = value(&inv.rest, i);
+                i += 2;
+            }
+            "--snapshot-id" => {
+                snapshot_id = value(&inv.rest, i);
+                i += 2;
+            }
+            "--clients" => {
+                clients = value(&inv.rest, i).parse().unwrap_or_else(|_| {
+                    eprintln!("--clients takes a positive integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--workload-from" => {
+                workload_from = inv.rest.get(i + 1);
+                i += 2;
+            }
+            "--replay" => {
+                replay = value(&inv.rest, i).parse().unwrap_or_else(|_| {
+                    eprintln!("--replay takes a non-negative integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--workload-seed" => {
+                workload_seed = value(&inv.rest, i).parse().unwrap_or_else(|_| {
+                    eprintln!("--workload-seed takes a non-negative integer");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--out" => {
+                out = inv.rest.get(i + 1);
+                i += 2;
+            }
             _ => {
                 query_text = Some(&inv.rest[i]);
                 i += 1;
             }
         }
+    }
+    if let Some(addr) = connect {
+        let remote = RemoteQuery {
+            addr: addr.clone(),
+            tenant,
+            snapshot_id,
+            clients: clients.max(1),
+            workload_from: workload_from.cloned(),
+            replay,
+            workload_seed,
+            query_text: query_text.cloned(),
+            out: out.cloned(),
+        };
+        return run_query_remote(&remote, topology);
     }
     let (Some(path), Some(text)) = (snapshot_path, query_text) else {
         usage()
@@ -869,6 +1156,83 @@ fn run_query(
         None => println!("{}", engine.answer(&query).to_canonical_json()),
     }
     Ok(())
+}
+
+/// `query --connect` flags, bundled.
+struct RemoteQuery {
+    addr: String,
+    tenant: String,
+    snapshot_id: String,
+    clients: usize,
+    workload_from: Option<String>,
+    replay: usize,
+    workload_seed: u64,
+    query_text: Option<String>,
+    out: Option<String>,
+}
+
+/// `query --connect`: answer over the wire. One query (positional JSON)
+/// goes through a single [`intertubes::net::NetClient`]; with
+/// `--workload-from` the deterministic mixed workload is generated
+/// locally and split over `--clients` concurrent connections — the same
+/// harness the remote gate byte-compares across client counts.
+fn run_query_remote(
+    remote: &RemoteQuery,
+    topology: &mut Option<TopologyCounts>,
+) -> CliResult<()> {
+    use std::net::ToSocketAddrs;
+    let addr = remote
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {}: {e}", remote.addr))?
+        .next()
+        .ok_or_else(|| format!("{} resolves to no address", remote.addr))?;
+    match (&remote.workload_from, &remote.query_text) {
+        (Some(snap_path), None) => {
+            // The workload generator needs the snapshot's shape (node and
+            // conduit counts), so the client loads it locally — the
+            // *answers* still come over the wire.
+            let snap = load_snapshot(snap_path, topology)?;
+            let workload =
+                intertubes::serve::mixed_workload(&snap, remote.replay, remote.workload_seed);
+            let responses = intertubes::net::run_clients(
+                addr,
+                &remote.tenant,
+                &remote.snapshot_id,
+                &workload,
+                remote.clients,
+            )
+            .map_err(|e| format!("remote workload failed: {e}"))?;
+            let jsonl: String = responses.iter().map(|r| format!("{r}\n")).collect();
+            match &remote.out {
+                Some(path) => {
+                    std::fs::write(path, jsonl)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    wrote(path);
+                }
+                None => print!("{jsonl}"),
+            }
+            Ok(())
+        }
+        (None, Some(text)) => {
+            let query: intertubes::serve::Query = serde_json::from_str(text)
+                .map_err(|e| format!("invalid query {text:?}: {e:?}"))?;
+            let mut client = intertubes::net::NetClient::new(addr, &remote.tenant)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let reply = client
+                .request(&remote.snapshot_id, 1, &query)
+                .map_err(|e| format!("remote query failed: {e}"))?;
+            client.close();
+            println!("{}", reply.payload());
+            match &reply {
+                intertubes::net::NetReply::Response(_) => Ok(()),
+                intertubes::net::NetReply::ErrorFrame(payload) => {
+                    Err(format!("server answered with an error frame: {payload}"))
+                }
+            }
+        }
+        _ => usage(),
+    }
 }
 
 fn run_scenario(inv: &Invocation, topology: &mut Option<TopologyCounts>) -> CliResult<()> {

@@ -11,12 +11,14 @@
 //! trace_check out.jsonl
 //! trace_check --profile serve serve.jsonl      # serving-run span set
 //! trace_check --profile scenario plan.jsonl    # scenario-run span set
+//! trace_check --profile remote listen.jsonl    # remote front-end span set
 //! ```
 //!
 //! The `--profile` flag selects which stage-span set the manifest must
 //! contain: `export` (the default — the full pipeline), `serve` (snapshot
-//! load, scheduler, replay), or `scenario` (snapshot load plus the
-//! ensemble evaluation).
+//! load, scheduler, replay), `scenario` (snapshot load plus the ensemble
+//! evaluation), or `remote` (a `serve --listen` run: accept, frame, and
+//! route spans around the scheduler).
 //!
 //! Exit codes: 0 valid, 1 invalid trace, 2 usage error.
 
@@ -51,13 +53,24 @@ const SERVE_STAGES: [&str; 3] = ["serve.load", "serve.replay", "serve.schedule"]
 /// Stages a `scenario` evaluation must record.
 const SCENARIO_STAGES: [&str; 2] = ["serve.load", "scenario.ensemble"];
 
+/// Stages a remote serving run (`serve --listen`) must record: the
+/// snapshot load(s), the transport's accept/frame/route spans, and the
+/// scheduler the routed batches run through.
+const REMOTE_STAGES: [&str; 5] = [
+    "serve.load",
+    "net.accept",
+    "net.frame",
+    "net.route",
+    "serve.schedule",
+];
+
 fn fail(msg: &str) -> ! {
     eprintln!("trace_check: {msg}");
     std::process::exit(1);
 }
 
 fn usage() -> ! {
-    eprintln!("usage: trace_check [--profile export|serve|scenario] <trace.jsonl>");
+    eprintln!("usage: trace_check [--profile export|serve|scenario|remote] <trace.jsonl>");
     std::process::exit(2);
 }
 
@@ -72,6 +85,7 @@ fn main() {
             "export" => &EXPORT_STAGES,
             "serve" => &SERVE_STAGES,
             "scenario" => &SCENARIO_STAGES,
+            "remote" => &REMOTE_STAGES,
             _ => usage(),
         };
         args.drain(..2);

@@ -166,6 +166,7 @@ fn canonical_run(threads: usize) -> (String, String) {
             exit_status: 0,
             health: None,
             serve_stats: None,
+            tenants: None,
         };
         let topology = obs::TopologyCounts {
             nodes: s.nodes,
@@ -227,6 +228,7 @@ fn canonical_faulted_run(
             exit_status,
             health: None,
             serve_stats: None,
+            tenants: None,
         };
         let manifest = obs::build_manifest(&info, &record, None);
         serde_json::to_string(&obs::canonicalize(&manifest))

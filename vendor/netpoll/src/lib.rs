@@ -1,0 +1,175 @@
+//! Non-blocking TCP shim over `std::net`.
+//!
+//! The real serving deployments would sit behind an event-loop crate
+//! (mio, polling, tokio); this workspace builds offline, so this stub
+//! reimplements exactly the subset the `intertubes-net` front-end needs:
+//! a non-blocking listener whose `accept` never parks the thread, a
+//! non-blocking stream with explicit partial-read/partial-write results,
+//! and a cooperative `tick` pause for the poll loop. Everything is plain
+//! `std::net` underneath — no platform syscalls beyond what std exposes —
+//! so the shim is portable wherever std is.
+//!
+//! Swapping in a real reactor later is a matter of re-implementing these
+//! four types on top of it; the serving loop only sees `Option`-shaped
+//! readiness, never `WouldBlock` errors.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How long [`tick`] parks the poll loop when nothing was ready. Half a
+/// millisecond keeps idle CPU negligible while adding at most ~1 ms of
+/// latency to a quiet connection.
+pub const TICK: Duration = Duration::from_micros(500);
+
+/// Parks the caller for one poll-loop tick. The loop calls this only
+/// after a full pass with no readable bytes, writable progress, or
+/// pending accepts — a busy server never sleeps.
+pub fn tick() {
+    std::thread::sleep(TICK);
+}
+
+/// What one non-blocking read observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// `n > 0` bytes were read into the buffer.
+    Data(usize),
+    /// The peer closed its write half (EOF).
+    Closed,
+    /// Nothing available right now (`WouldBlock`).
+    Pending,
+}
+
+/// A non-blocking TCP listener.
+#[derive(Debug)]
+pub struct NbListener {
+    inner: TcpListener,
+    addr: SocketAddr,
+}
+
+impl NbListener {
+    /// Binds and switches to non-blocking mode. Binding port 0 picks an
+    /// ephemeral port; [`NbListener::local_addr`] reports the real one.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<NbListener> {
+        let inner = TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        let addr = inner.local_addr()?;
+        Ok(NbListener { inner, addr })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts one pending connection, or `None` when the backlog is
+    /// empty. The returned stream is already non-blocking.
+    pub fn accept(&self) -> io::Result<Option<(NbStream, SocketAddr)>> {
+        match self.inner.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nonblocking(true)?;
+                Ok(Some((NbStream { inner: stream }, peer)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A non-blocking TCP stream: reads report readiness explicitly, writes
+/// report how much was taken.
+#[derive(Debug)]
+pub struct NbStream {
+    inner: TcpStream,
+}
+
+impl NbStream {
+    /// Connects (blocking — connection setup happens once) and switches
+    /// the established stream to non-blocking mode.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NbStream> {
+        let inner = TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(NbStream { inner })
+    }
+
+    /// Reads whatever is available into `buf` without blocking.
+    pub fn read_some(&mut self, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+        match self.inner.read(buf) {
+            Ok(0) => Ok(ReadOutcome::Closed),
+            Ok(n) => Ok(ReadOutcome::Data(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(ReadOutcome::Pending),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(ReadOutcome::Pending),
+            // A peer that vanished mid-stream (reset) reads as a close:
+            // the framing layer reports the truncation, not the errno.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Ok(ReadOutcome::Closed),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes as much of `buf` as the socket takes right now, returning
+    /// the count (0 when the send buffer is full).
+    pub fn write_some(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        match self.inner.write(buf) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Shuts down both halves, telling the peer we are done. Errors are
+    /// ignored — the peer may already be gone, which is the same outcome.
+    pub fn shutdown(&self) {
+        let _ = self.inner.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_is_nonblocking_and_round_trips_bytes() {
+        let listener = NbListener::bind("127.0.0.1:0").unwrap();
+        // Nothing pending yet: accept returns immediately with None.
+        assert!(listener.accept().unwrap().is_none());
+
+        let mut client = NbStream::connect(listener.local_addr()).unwrap();
+        // The connection lands in the backlog within a few ticks.
+        let mut server = loop {
+            if let Some((conn, _)) = listener.accept().unwrap() {
+                break conn;
+            }
+            tick();
+        };
+
+        assert_eq!(client.write_some(b"ping").unwrap(), 4);
+        let mut buf = [0u8; 16];
+        let got = loop {
+            match server.read_some(&mut buf).unwrap() {
+                ReadOutcome::Data(n) => break n,
+                ReadOutcome::Pending => tick(),
+                ReadOutcome::Closed => panic!("client still open"),
+            }
+        };
+        assert_eq!(&buf[..got], b"ping");
+
+        // Close surfaces as Closed, not an error.
+        client.shutdown();
+        loop {
+            match server.read_some(&mut buf).unwrap() {
+                ReadOutcome::Closed => break,
+                ReadOutcome::Pending => tick(),
+                ReadOutcome::Data(_) => {}
+            }
+        }
+    }
+}
